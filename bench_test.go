@@ -1,0 +1,235 @@
+package dtdinfer
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation; run with
+//
+//	go test -bench=. -benchmem
+//
+// Figure 4 runs with reduced trial counts here to keep benchmark runs
+// short; cmd/experiments reproduces the full 200-trial curves.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/corpus"
+	"dtdinfer/internal/datagen"
+	"dtdinfer/internal/experiments"
+	"dtdinfer/internal/idtd"
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/regextest"
+	"dtdinfer/internal/soa"
+	"dtdinfer/internal/stateelim"
+)
+
+// BenchmarkConcisenessStateElimVsRewrite regenerates the introduction's
+// (†) vs (‡) contrast on the Figure 1 automaton.
+func BenchmarkConcisenessStateElimVsRewrite(b *testing.B) {
+	b.Run("rewrite", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := experiments.RunConciseness()
+			if r.RewriteTokens != 12 {
+				b.Fatalf("rewrite tokens = %d", r.RewriteTokens)
+			}
+		}
+	})
+	b.Run("stateelim", func(b *testing.B) {
+		sample := [][]string{split("bacacdacde"), split("cbacdbacde"), split("abccaadcde")}
+		a := soa.Infer(sample)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stateelim.FromSOA(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func split(w string) []string {
+	out := make([]string, len(w))
+	for i, r := range w {
+		out[i] = string(r)
+	}
+	return out
+}
+
+// BenchmarkTable1 regenerates Table 1, one sub-benchmark per element
+// definition and algorithm.
+func BenchmarkTable1(b *testing.B) {
+	for _, row := range experiments.Table1 {
+		truth := regex.MustParse(row.CorpusTruth)
+		s := datagen.NewSampler(1)
+		sample := datagen.NewSampler(1).SampleN(truth, row.SampleSize)
+		if cover := datagen.EdgeCoverSample(truth); len(cover) <= row.SampleSize {
+			sample = datagen.RepresentativeSample(s, truth, row.SampleSize)
+		}
+		for _, algo := range []core.Algorithm{core.CRX, core.IDTD} {
+			b.Run(row.Element+"/"+string(algo), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.InferExpr(sample, algo, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2, one sub-benchmark per expression and
+// algorithm (xtract on its capped sample).
+func BenchmarkTable2(b *testing.B) {
+	for _, row := range experiments.Table2 {
+		target := regex.MustParse(row.Original)
+		s := datagen.NewSampler(1)
+		sample := datagen.RepresentativeSample(s, target, row.SampleSize)
+		for _, algo := range []core.Algorithm{core.CRX, core.IDTD, core.TrangLike} {
+			b.Run(row.Element+"/"+string(algo), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.InferExpr(sample, algo, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		xs := sample
+		if row.XtractSize < len(sample) {
+			xs = sample[:row.XtractSize]
+		}
+		b.Run(row.Element+"/xtract", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.InferExpr(xs, core.XTRACT, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates the three generalization panels with reduced
+// trial counts (the full 200-trial version is cmd/experiments -exp=figure4).
+func BenchmarkFigure4(b *testing.B) {
+	for _, panel := range experiments.Figure4 {
+		b.Run(panel.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.RunFigure4Panel(panel, &experiments.Figure4Config{
+					Trials: 5, Steps: 6, Seed: 1,
+				})
+				if len(r.Points) == 0 {
+					b.Fatal("no curve points")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPerfIDTDExample4 and BenchmarkPerfCRXExample4 are the Section
+// 8.3 timing workloads: example4 (61 symbols) from 10000 strings. The paper
+// reports 7 s (iDTD) and 3.2 s (CRX) on a 2.5 GHz Pentium 4 including JVM
+// startup.
+func BenchmarkPerfIDTDExample4(b *testing.B) {
+	benchPerf(b, core.IDTD)
+}
+
+// BenchmarkPerfCRXExample4 is the CRX side of the Section 8.3 comparison.
+func BenchmarkPerfCRXExample4(b *testing.B) {
+	benchPerf(b, core.CRX)
+}
+
+func benchPerf(b *testing.B, algo core.Algorithm) {
+	row := experiments.Table2[3]
+	target := regex.MustParse(row.Original)
+	sample := datagen.RepresentativeSample(datagen.NewSampler(1), target, row.SampleSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.InferExpr(sample, algo, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerfTypical times the paper's "typical" workload: a 10-symbol
+// expression from a few hundred strings (about a second on their machine).
+func BenchmarkPerfTypical(b *testing.B) {
+	typical := regex.MustParse("a1 a2? (a3 + a4 + a5)* a6 (a7 + a8)? a9* a10")
+	sample := datagen.RepresentativeSample(datagen.NewSampler(1), typical, 300)
+	for _, algo := range []core.Algorithm{core.IDTD, core.CRX} {
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.InferExpr(sample, algo, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndDTD measures whole-pipeline inference (XML parsing,
+// extraction, per-element inference) on the synthetic Protein corpus.
+func BenchmarkEndToEndDTD(b *testing.B) {
+	benchCorpus(b, 200)
+}
+
+func benchCorpus(b *testing.B, n int) {
+	docs := corpusDocs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := InferDTD(docs(), IDTD, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// corpusDocs returns a factory of fresh readers over a generated Protein
+// corpus (readers are consumed by each inference run).
+func corpusDocs(n int) func() []io.Reader {
+	docs := corpus.Protein(1, n)
+	return func() []io.Reader { return corpus.Documents(docs) }
+}
+
+// BenchmarkAblationRepairPolicy measures the design choice DESIGN.md calls
+// out: how the repair-candidate policy affects iDTD's exact-recovery rate
+// on sparse samples of random SOREs. Run with -v to see the rates; the
+// benchmark reports recoveries per policy via b.ReportMetric.
+func BenchmarkAblationRepairPolicy(b *testing.B) {
+	alpha := []string{"a", "b", "c", "d", "e"}
+	for _, tc := range []struct {
+		name   string
+		policy idtd.RepairPolicy
+	}{
+		{"balanced", idtd.PolicyBalanced},
+		{"disjunction-first", idtd.PolicyDisjunctionFirst},
+		{"optional-first", idtd.PolicyOptionalFirst},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			exact, runs := 0, 0
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				target := regextest.RandomSORE(rng, alpha, 3)
+				var ws [][]string
+				nonEmpty := false
+				for j := 0; j < 8; j++ {
+					w := regextest.Sample(rng, target, 1, 2)
+					nonEmpty = nonEmpty || len(w) > 0
+					ws = append(ws, w)
+				}
+				if !nonEmpty {
+					continue
+				}
+				res, err := idtd.Infer(ws, &idtd.Options{Policy: tc.policy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				runs++
+				if automata.ExprEquivalent(res.Expr, target) {
+					exact++
+				}
+			}
+			if runs > 0 {
+				b.ReportMetric(float64(exact)/float64(runs), "exact-recovery")
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+// Command dtddiff compares two DTDs element by element, by the languages
+// of their content models — the tool form of the paper's schema-cleaning
+// workflow (diff a published DTD against the DTD inferred from the actual
+// corpus) and of the Section 9 noise analysis (diff the inferred schema
+// against the specification for "a uniform view of the kind of errors").
+//
+// Usage:
+//
+//	dtddiff [-v] first.dtd second.dtd
+//
+// Exit status 1 when the DTDs differ.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtdinfer/internal/dtd"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also list equivalent elements")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	first, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	second, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	entries := dtd.Diff(first, second)
+	fmt.Print(dtd.FormatDiff(entries, *verbose))
+	for _, e := range entries {
+		if e.Relation != dtd.Equivalent {
+			os.Exit(1)
+		}
+	}
+}
+
+func load(name string) (*dtd.DTD, error) {
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dtd.Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return d, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtddiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command dtdinfer infers a concise DTD (or XML Schema) from XML documents.
+//
+// Usage:
+//
+//	dtdinfer [-algo idtd|crx|xtract|trang|stateelim] [-format dtd|xsd]
+//	         [-numeric] [-noise N] file.xml [file2.xml ...]
+//
+// With no files, one document is read from standard input. The default
+// algorithm is iDTD; use -algo crx when only a few documents are available.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dtdinfer/internal/contextual"
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/xsd"
+)
+
+func main() {
+	algoName := flag.String("algo", "idtd", "inference algorithm: idtd, crx, rewrite, xtract, trang or stateelim")
+	format := flag.String("format", "dtd", "output format: dtd or xsd")
+	numeric := flag.Bool("numeric", false, "refine repetitions to {m,n} bounds from the data (Section 9)")
+	noise := flag.Int("noise", 0, "iDTD noise threshold: drop edges supported by at most N strings when stuck")
+	contextK := flag.Int("context", 0, "infer a contextual schema with k ancestor names of typing context (0 = plain DTD)")
+	flag.Parse()
+
+	algo, err := core.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := &core.Options{NumericPredicates: *numeric}
+	opts.IDTD.NoiseThreshold = *noise
+
+	if *contextK > 0 {
+		runContextual(*contextK, algo, opts, *format)
+		return
+	}
+
+	x := dtd.NewExtraction()
+	if flag.NArg() == 0 {
+		if err := x.AddDocument(os.Stdin); err != nil {
+			fatal(fmt.Errorf("stdin: %w", err))
+		}
+	}
+	for _, name := range flag.Args() {
+		if err := addFile(x, name); err != nil {
+			fatal(err)
+		}
+	}
+	d, err := core.InferDTDFromExtraction(x, algo, opts)
+	if err != nil {
+		fatal(err)
+	}
+	switch *format {
+	case "dtd":
+		fmt.Println(d)
+	case "xsd":
+		fmt.Print(xsd.Generate(d, x.TextSamples))
+	default:
+		fatal(fmt.Errorf("unknown format %q (want dtd or xsd)", *format))
+	}
+}
+
+// runContextual infers a k-local contextual schema instead of a DTD.
+func runContextual(k int, algo core.Algorithm, opts *core.Options, format string) {
+	x := contextual.NewExtraction(k)
+	add := func(r io.Reader, label string) {
+		if err := x.AddDocument(r); err != nil {
+			fatal(fmt.Errorf("%s: %w", label, err))
+		}
+	}
+	if flag.NArg() == 0 {
+		add(os.Stdin, "stdin")
+	}
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		add(f, name)
+		f.Close()
+	}
+	s, err := x.InferSchema(core.Inferrer(algo, opts))
+	if err != nil {
+		fatal(err)
+	}
+	switch format {
+	case "dtd":
+		fmt.Print(s)
+		if !s.IsDTDExpressible() {
+			fmt.Printf("(elements with context-dependent types: %v; flattened DTD below)\n",
+				s.MultiTypeElements())
+		}
+		fmt.Println(s.ToDTD())
+	case "xsd":
+		fmt.Print(s.ToXSD())
+	default:
+		fatal(fmt.Errorf("unknown format %q (want dtd or xsd)", format))
+	}
+}
+
+func addFile(x *dtd.Extraction, name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := x.AddDocument(io.Reader(f)); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtdinfer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	experiments [-exp table1|table2|figure4|perf|conciseness|all]
+//	            [-trials 200] [-steps 20] [-seed 1]
+//
+// Figure 4 with the paper's 200 trials per size takes a few minutes; lower
+// -trials for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtdinfer/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, figure4, perf, conciseness, ablation or all")
+	trials := flag.Int("trials", 200, "Figure 4 subsamples per size (the paper uses 200)")
+	steps := flag.Int("steps", 20, "Figure 4 sample sizes per panel")
+	seed := flag.Int64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit Figure 4 curves as CSV for plotting")
+	flag.Parse()
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println(experiments.FormatTable1(experiments.RunTable1(*seed)))
+		case "table2":
+			fmt.Println(experiments.FormatTable2(experiments.RunTable2(*seed)))
+		case "figure4":
+			cfg := &experiments.Figure4Config{Trials: *trials, Steps: *steps, Seed: *seed}
+			results := experiments.RunFigure4(cfg)
+			if *csv {
+				fmt.Print(experiments.FormatFigure4CSV(results))
+			} else {
+				fmt.Println(experiments.FormatFigure4(results))
+			}
+		case "perf":
+			fmt.Println(experiments.FormatPerf(experiments.RunPerf(*seed)))
+		case "conciseness":
+			fmt.Println(experiments.FormatConciseness(experiments.RunConciseness()))
+		case "ablation":
+			fmt.Println(experiments.FormatAblation(experiments.RunAblation(*seed)))
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"conciseness", "table1", "table2", "figure4", "perf", "ablation"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,78 @@
+// Command xmlgen generates synthetic XML documents from a DTD, or sample
+// strings from a content-model expression — the repository's stand-in for
+// the ToXgene generator used in the paper's experiments.
+//
+// Usage:
+//
+//	xmlgen -dtd schema.dtd [-n 10] [-seed 1]            # documents
+//	xmlgen -expr "(b?(a + c))+d" [-n 10] [-representative]  # strings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtdinfer/internal/datagen"
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/regex"
+)
+
+func main() {
+	dtdFile := flag.String("dtd", "", "DTD file to generate documents from")
+	expr := flag.String("expr", "", "content-model expression to generate strings from")
+	n := flag.Int("n", 10, "number of documents/strings")
+	seed := flag.Int64("seed", 1, "random seed")
+	representative := flag.Bool("representative", false,
+		"make the string sample representative (cover all 2-grams of the expression)")
+	flag.Parse()
+
+	switch {
+	case *dtdFile != "" && *expr != "":
+		fatal(fmt.Errorf("use either -dtd or -expr, not both"))
+	case *dtdFile != "":
+		src, err := os.ReadFile(*dtdFile)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := dtd.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		g := &datagen.DocGenerator{DTD: d, Sampler: datagen.NewSampler(*seed)}
+		for _, doc := range g.GenerateN(*n) {
+			fmt.Println(doc)
+		}
+	case *expr != "":
+		e, err := regex.Parse(*expr)
+		if err != nil {
+			fatal(err)
+		}
+		s := datagen.NewSampler(*seed)
+		var sample [][]string
+		if *representative {
+			sample = datagen.RepresentativeSample(s, e, max(*n, len(datagen.EdgeCoverSample(e))))
+		} else {
+			sample = s.SampleN(e, *n)
+		}
+		for _, w := range sample {
+			fmt.Println(strings.Join(w, " "))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

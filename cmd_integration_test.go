@@ -1,0 +1,174 @@
+package dtdinfer
+
+// Integration tests for the command-line tools: each binary is built once
+// into a temporary directory and driven through its primary flows,
+// including failure exit codes.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "dtdinfer-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"dtdinfer", "dtdvalidate", "dtddiff", "xmlgen", "experiments"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("building %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Skipf("cannot build tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func runTool(t *testing.T, name string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), name), args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if exit, ok := err.(*exec.ExitError); ok {
+		code = exit.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return string(out), code
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIDtdinferFromStdin(t *testing.T) {
+	out, code := runTool(t, "dtdinfer", `<a><b>1</b><b>2</b><c/></a>`)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	for _, want := range []string{"<!DOCTYPE a [", "<!ELEMENT a (b+,c)>", "<!ELEMENT c EMPTY>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIDtdinferXSDAndAlgos(t *testing.T) {
+	dir := t.TempDir()
+	doc := writeFile(t, dir, "d.xml", `<r><x>7</x><x>8</x></r>`)
+	out, code := runTool(t, "dtdinfer", "", "-format", "xsd", doc)
+	if code != 0 || !strings.Contains(out, `<xs:schema`) {
+		t.Fatalf("xsd output broken (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, `type="xs:integer"`) {
+		t.Errorf("datatype detection missing:\n%s", out)
+	}
+	for _, algo := range []string{"crx", "xtract", "trang", "stateelim"} {
+		out, code = runTool(t, "dtdinfer", "", "-algo", algo, doc)
+		if code != 0 {
+			t.Errorf("algo %s failed (exit %d): %s", algo, code, out)
+		}
+	}
+	if _, code = runTool(t, "dtdinfer", "", "-algo", "nope", doc); code == 0 {
+		t.Error("unknown algorithm must fail")
+	}
+}
+
+func TestCLIValidateAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	schema := writeFile(t, dir, "s.dtd", `<!DOCTYPE r [
+<!ELEMENT r (x+)>
+<!ELEMENT x (#PCDATA)>
+]>`)
+	good := writeFile(t, dir, "good.xml", `<r><x>1</x></r>`)
+	bad := writeFile(t, dir, "bad.xml", `<r></r>`)
+	out, code := runTool(t, "dtdvalidate", "", "-dtd", schema, good)
+	if code != 0 || !strings.Contains(out, "valid") {
+		t.Errorf("good doc: exit %d, %s", code, out)
+	}
+	out, code = runTool(t, "dtdvalidate", "", "-dtd", schema, bad)
+	if code != 1 || !strings.Contains(out, "do not match") {
+		t.Errorf("bad doc: exit %d, %s", code, out)
+	}
+
+	schema2 := writeFile(t, dir, "s2.dtd", `<!DOCTYPE r [
+<!ELEMENT r (x*)>
+<!ELEMENT x (#PCDATA)>
+]>`)
+	out, code = runTool(t, "dtddiff", "", schema, schema2)
+	if code != 1 || !strings.Contains(out, "r: stricter") {
+		t.Errorf("diff: exit %d, %s", code, out)
+	}
+	out, code = runTool(t, "dtddiff", "", schema, schema)
+	if code != 0 || !strings.Contains(out, "equivalent") {
+		t.Errorf("self diff: exit %d, %s", code, out)
+	}
+}
+
+func TestCLIXmlgenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	schema := writeFile(t, dir, "s.dtd", `<!DOCTYPE r [
+<!ELEMENT r (x+,y?)>
+<!ELEMENT x (#PCDATA)>
+<!ELEMENT y EMPTY>
+]>`)
+	out, code := runTool(t, "xmlgen", "", "-dtd", schema, "-n", "5", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("xmlgen: exit %d, %s", code, out)
+	}
+	docs := strings.Split(strings.TrimSpace(out), "\n")
+	if len(docs) != 5 {
+		t.Fatalf("got %d documents", len(docs))
+	}
+	// Every generated document validates against the schema it came from.
+	for _, doc := range docs {
+		path := writeFile(t, dir, "gen.xml", doc)
+		if _, code := runTool(t, "dtdvalidate", "", "-dtd", schema, path); code != 0 {
+			t.Errorf("generated document invalid: %s", doc)
+		}
+	}
+	// String generation from an expression.
+	out, code = runTool(t, "xmlgen", "", "-expr", "(a|b)+,c", "-n", "4")
+	if code != 0 || len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Errorf("expr generation: exit %d, %s", code, out)
+	}
+}
+
+func TestCLIExperimentsConciseness(t *testing.T) {
+	out, code := runTool(t, "experiments", "", "-exp", "conciseness")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "((b? (a + c))+ d)+ e") || !strings.Contains(out, "blow-up factor") {
+		t.Errorf("conciseness output broken:\n%s", out)
+	}
+	if _, code := runTool(t, "experiments", "", "-exp", "bogus"); code == 0 {
+		t.Error("unknown experiment must fail")
+	}
+}

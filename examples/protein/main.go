@@ -1,0 +1,72 @@
+// Protein: the paper's large-corpus scenario (Section 1.1 and Table 1).
+//
+// A synthetic Protein Sequence Database corpus is generated, a DTD is
+// inferred with iDTD, and the inferred refinfo content model is compared
+// against the published DTD: the corpus never specifies volume and month
+// together, so inference tightens volume?,month? into (volume|month) — the
+// schema-cleaning application motivating the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"dtdinfer"
+	"dtdinfer/internal/corpus"
+)
+
+func main() {
+	docs := corpus.Protein(1, 300)
+	fmt.Println(corpus.Describe("synthetic Protein Sequence Database", docs))
+
+	inferred, err := dtdinfer.InferDTD(corpus.Documents(docs), dtdinfer.IDTD, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	published := corpus.ProteinDTD()
+
+	fmt.Println("\npublished refinfo:")
+	fmt.Println(" ", published.Elements["refinfo"])
+	fmt.Println("inferred refinfo (iDTD):")
+	fmt.Println(" ", inferred.Elements["refinfo"])
+
+	// Both schemas validate the corpus, but the inferred one is stricter:
+	// it rejects a refinfo carrying both volume and month.
+	overSpecified := `<refinfo><authors><author>A</author></authors>` +
+		`<citation>C</citation><volume>12</volume><month>May</month>` +
+		`<year>2006</year></refinfo>`
+	iv := dtdinfer.NewValidator(inferred)
+	pv := dtdinfer.NewValidator(published)
+	// Validate the fragment against the refinfo declaration by wrapping the
+	// validators around single-element documents.
+	fmt.Println("\nrefinfo with both volume and month:")
+	fmt.Println("  published DTD accepts it:", validFragment(pv, overSpecified))
+	fmt.Println("  inferred DTD accepts it: ", validFragment(iv, overSpecified))
+
+	ok := 0
+	for _, doc := range docs {
+		if iv.ValidDocument(doc) {
+			ok++
+		}
+	}
+	fmt.Printf("\ninferred DTD validates %d/%d corpus documents\n", ok, len(docs))
+
+	// The full inferred schema, for inspection.
+	fmt.Println("\nfull inferred DTD:")
+	fmt.Println(inferred)
+}
+
+func validFragment(v *dtdinfer.Validator, frag string) bool {
+	violations, err := v.Validate(strings.NewReader(frag))
+	if err != nil {
+		return false
+	}
+	for _, viol := range violations {
+		// Ignore the root mismatch: we validate a fragment on purpose.
+		if !strings.HasPrefix(viol.Reason, "root") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,3 @@
+module dtdinfer
+
+go 1.22

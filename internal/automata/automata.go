@@ -1,0 +1,203 @@
+// Package automata provides the finite automata substrate used to validate
+// the inference algorithms: Glushkov construction from regular expressions,
+// determinization, Hopcroft minimization, language equivalence, inclusion,
+// membership, and bounded enumeration. The alphabet is a set of element
+// names (strings), matching the DTD setting where automata run over
+// sequences of child element names rather than characters.
+package automata
+
+import (
+	"sort"
+
+	"dtdinfer/internal/regex"
+)
+
+// NFA is a nondeterministic finite automaton over element names. State 0 is
+// the start state. There are no ε-transitions; Glushkov construction does
+// not produce any.
+type NFA struct {
+	// NumStates is the number of states, numbered 0..NumStates-1.
+	NumStates int
+	// Accept marks accepting states.
+	Accept []bool
+	// Trans maps state and symbol to the successor set.
+	Trans []map[string][]int
+	// Alphabet is the sorted set of symbols with at least one transition.
+	Alphabet []string
+}
+
+// Glushkov builds the Glushkov (position) automaton of e. Numerical
+// predicates are expanded first. For a SORE the result is deterministic and
+// is isomorphic to the expression's single occurrence automaton
+// (Proposition 1 of the paper).
+func Glushkov(e *regex.Expr) *NFA {
+	e = regex.ExpandRepeats(e)
+	g := e.GlushkovSets()
+	n := len(g.Syms) + 1 // positions shifted by one; state 0 is the start
+	a := &NFA{
+		NumStates: n,
+		Accept:    make([]bool, n),
+		Trans:     make([]map[string][]int, n),
+	}
+	for i := range a.Trans {
+		a.Trans[i] = map[string][]int{}
+	}
+	a.Accept[0] = g.Nullable
+	for p := range g.First {
+		sym := g.Syms[p]
+		a.Trans[0][sym] = append(a.Trans[0][sym], p+1)
+	}
+	for p := range g.Last {
+		a.Accept[p+1] = true
+	}
+	for p, fs := range g.Follow {
+		for q := range fs {
+			sym := g.Syms[q]
+			a.Trans[p+1][sym] = append(a.Trans[p+1][sym], q+1)
+		}
+	}
+	alpha := map[string]bool{}
+	for _, s := range g.Syms {
+		alpha[s] = true
+	}
+	a.Alphabet = sortedKeys(alpha)
+	for i := range a.Trans {
+		for _, succs := range a.Trans[i] {
+			sort.Ints(succs)
+		}
+	}
+	return a
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Member reports whether the NFA accepts the string w of element names.
+func (a *NFA) Member(w []string) bool {
+	cur := map[int]bool{0: true}
+	for _, sym := range w {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, t := range a.Trans[s][sym] {
+				next[t] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for s := range cur {
+		if a.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDeterministic reports whether no state has two transitions on the same
+// symbol. The Glushkov automaton of a one-unambiguous expression is
+// deterministic.
+func (a *NFA) IsDeterministic() bool {
+	for _, tr := range a.Trans {
+		for _, succs := range tr {
+			if len(succs) > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DFA is a deterministic finite automaton over element names. State 0 is
+// the start state; missing transitions go to an implicit dead state.
+type DFA struct {
+	NumStates int
+	Accept    []bool
+	Trans     []map[string]int
+	Alphabet  []string
+}
+
+// Determinize converts the NFA to an equivalent DFA by subset construction.
+func (a *NFA) Determinize() *DFA {
+	type key = string
+	encode := func(set []int) key {
+		b := make([]byte, 0, len(set)*3)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16))
+		}
+		return string(b)
+	}
+	start := []int{0}
+	ids := map[key]int{encode(start): 0}
+	sets := [][]int{start}
+	d := &DFA{Alphabet: a.Alphabet}
+	d.Trans = append(d.Trans, nil)
+	d.Accept = append(d.Accept, false)
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		acc := false
+		succ := map[string]map[int]bool{}
+		for _, s := range set {
+			if a.Accept[s] {
+				acc = true
+			}
+			for sym, ts := range a.Trans[s] {
+				m := succ[sym]
+				if m == nil {
+					m = map[int]bool{}
+					succ[sym] = m
+				}
+				for _, t := range ts {
+					m[t] = true
+				}
+			}
+		}
+		d.Accept[i] = acc
+		tr := map[string]int{}
+		for sym, m := range succ {
+			next := make([]int, 0, len(m))
+			for t := range m {
+				next = append(next, t)
+			}
+			sort.Ints(next)
+			k := encode(next)
+			id, ok := ids[k]
+			if !ok {
+				id = len(sets)
+				ids[k] = id
+				sets = append(sets, next)
+				d.Trans = append(d.Trans, nil)
+				d.Accept = append(d.Accept, false)
+			}
+			tr[sym] = id
+		}
+		d.Trans[i] = tr
+	}
+	d.NumStates = len(sets)
+	return d
+}
+
+// FromExpr builds the minimal DFA of a regular expression.
+func FromExpr(e *regex.Expr) *DFA {
+	return Glushkov(e).Determinize().Minimize()
+}
+
+// Member reports whether the DFA accepts w.
+func (d *DFA) Member(w []string) bool {
+	s := 0
+	for _, sym := range w {
+		t, ok := d.Trans[s][sym]
+		if !ok {
+			return false
+		}
+		s = t
+	}
+	return d.Accept[s]
+}

@@ -1,0 +1,295 @@
+package automata
+
+import "sort"
+
+// Minimize returns the minimal DFA for the same language, using Moore's
+// partition-refinement algorithm over the completed automaton (the implicit
+// dead state participates in the refinement but is dropped again from the
+// result). Unreachable states are removed first.
+func (d *DFA) Minimize() *DFA {
+	d = d.trim()
+	n := d.NumStates + 1 // extra dead state at index n-1... appended below
+	dead := d.NumStates
+	// class[s] is the current partition class of s; start from accept split.
+	class := make([]int, n)
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] {
+			class[s] = 1
+		}
+	}
+	class[dead] = 0
+	step := func(s int, sym string) int {
+		if s == dead {
+			return dead
+		}
+		t, ok := d.Trans[s][sym]
+		if !ok {
+			return dead
+		}
+		return t
+	}
+	for {
+		// Signature of a state: its class plus the classes of its successors.
+		type sig struct {
+			own  int
+			succ string
+		}
+		sigs := make([]sig, n)
+		for s := 0; s < n; s++ {
+			b := make([]byte, 0, len(d.Alphabet)*3)
+			for _, sym := range d.Alphabet {
+				c := class[step(s, sym)]
+				b = append(b, byte(c), byte(c>>8), byte(c>>16))
+			}
+			sigs[s] = sig{own: class[s], succ: string(b)}
+		}
+		ids := map[sig]int{}
+		next := make([]int, n)
+		for s := 0; s < n; s++ {
+			id, ok := ids[sigs[s]]
+			if !ok {
+				id = len(ids)
+				ids[sigs[s]] = id
+			}
+			next[s] = id
+		}
+		same := true
+		for s := 0; s < n; s++ {
+			if next[s] != class[s] {
+				same = false
+				break
+			}
+		}
+		class = next
+		if same {
+			break
+		}
+	}
+	// Build the quotient automaton, dropping the dead class.
+	deadClass := class[dead]
+	remap := map[int]int{}
+	order := []int{class[0]}
+	remap[class[0]] = 0
+	for s := 0; s < d.NumStates; s++ {
+		c := class[s]
+		if c == deadClass {
+			continue
+		}
+		if _, ok := remap[c]; !ok {
+			remap[c] = len(order)
+			order = append(order, c)
+		}
+	}
+	out := &DFA{
+		NumStates: len(order),
+		Accept:    make([]bool, len(order)),
+		Trans:     make([]map[string]int, len(order)),
+		Alphabet:  d.Alphabet,
+	}
+	for i := range out.Trans {
+		out.Trans[i] = map[string]int{}
+	}
+	for s := 0; s < d.NumStates; s++ {
+		c := class[s]
+		if c == deadClass {
+			continue
+		}
+		i := remap[c]
+		out.Accept[i] = d.Accept[s]
+		for sym, t := range d.Trans[s] {
+			if class[t] == deadClass {
+				continue
+			}
+			out.Trans[i][sym] = remap[class[t]]
+		}
+	}
+	return out
+}
+
+// trim removes unreachable states and states from which no accepting state
+// is reachable.
+func (d *DFA) trim() *DFA {
+	reach := make([]bool, d.NumStates)
+	queue := []int{0}
+	reach[0] = true
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, t := range d.Trans[s] {
+			if !reach[t] {
+				reach[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	// Backward reachability from accepting states.
+	rev := make([][]int, d.NumStates)
+	for s := 0; s < d.NumStates; s++ {
+		for _, t := range d.Trans[s] {
+			rev[t] = append(rev[t], s)
+		}
+	}
+	live := make([]bool, d.NumStates)
+	queue = queue[:0]
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] && reach[s] {
+			live[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, p := range rev[s] {
+			if reach[p] && !live[p] {
+				live[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	keep := make([]int, d.NumStates)
+	for i := range keep {
+		keep[i] = -1
+	}
+	var order []int
+	if live[0] {
+		keep[0] = 0
+		order = append(order, 0)
+	}
+	for s := 1; s < d.NumStates; s++ {
+		if live[s] {
+			keep[s] = len(order)
+			order = append(order, s)
+		}
+	}
+	out := &DFA{Alphabet: d.Alphabet}
+	if len(order) == 0 || keep[0] == -1 {
+		// Empty language: single non-accepting start state.
+		return &DFA{
+			NumStates: 1,
+			Accept:    []bool{false},
+			Trans:     []map[string]int{{}},
+			Alphabet:  d.Alphabet,
+		}
+	}
+	out.NumStates = len(order)
+	out.Accept = make([]bool, len(order))
+	out.Trans = make([]map[string]int, len(order))
+	for i, s := range order {
+		out.Accept[i] = d.Accept[s]
+		out.Trans[i] = map[string]int{}
+		for sym, t := range d.Trans[s] {
+			if keep[t] >= 0 {
+				out.Trans[i][sym] = keep[t]
+			}
+		}
+	}
+	return out
+}
+
+// Equivalent reports whether two DFAs accept the same language, by breadth-
+// first search over the product automaton with implicit dead states.
+func Equivalent(d1, d2 *DFA) bool {
+	return compare(d1, d2, func(a1, a2 bool) bool { return a1 != a2 })
+}
+
+// Includes reports whether L(d2) ⊆ L(d1).
+func Includes(d1, d2 *DFA) bool {
+	return compare(d1, d2, func(a1, a2 bool) bool { return a2 && !a1 })
+}
+
+// compare explores the product of d1 and d2 and returns false as soon as a
+// reachable state pair violates the predicate bad(accept1, accept2);
+// otherwise it returns true. The dead state is represented as -1.
+func compare(d1, d2 *DFA, bad func(a1, a2 bool) bool) bool {
+	alpha := map[string]bool{}
+	for _, s := range d1.Alphabet {
+		alpha[s] = true
+	}
+	for _, s := range d2.Alphabet {
+		alpha[s] = true
+	}
+	alphabet := sortedKeys(alpha)
+	type pair struct{ s1, s2 int }
+	accepts := func(d *DFA, s int) bool { return s >= 0 && d.Accept[s] }
+	move := func(d *DFA, s int, sym string) int {
+		if s < 0 {
+			return -1
+		}
+		t, ok := d.Trans[s][sym]
+		if !ok {
+			return -1
+		}
+		return t
+	}
+	start := pair{0, 0}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if bad(accepts(d1, p.s1), accepts(d2, p.s2)) {
+			return false
+		}
+		if p.s1 < 0 && p.s2 < 0 {
+			continue
+		}
+		for _, sym := range alphabet {
+			q := pair{move(d1, p.s1, sym), move(d2, p.s2, sym)}
+			if q.s1 < 0 && q.s2 < 0 {
+				continue
+			}
+			if !seen[q] {
+				seen[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	return true
+}
+
+// Enumerate returns all accepted strings of length at most maxLen, in
+// shortlex order. It is intended for exhaustively checking language
+// equalities on small alphabets in tests.
+func (d *DFA) Enumerate(maxLen int) [][]string {
+	var out [][]string
+	type node struct {
+		state int
+		word  []string
+	}
+	frontier := []node{{0, nil}}
+	if d.Accept[0] {
+		out = append(out, nil)
+	}
+	for l := 1; l <= maxLen; l++ {
+		var next []node
+		for _, n := range frontier {
+			syms := make([]string, 0, len(d.Trans[n.state]))
+			for sym := range d.Trans[n.state] {
+				syms = append(syms, sym)
+			}
+			sort.Strings(syms)
+			for _, sym := range syms {
+				t := d.Trans[n.state][sym]
+				w := append(append([]string{}, n.word...), sym)
+				next = append(next, node{t, w})
+				if d.Accept[t] {
+					out = append(out, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,146 @@
+// Package core ties the inference algorithms of the paper into one
+// engine: given positive example strings (or whole XML documents), it
+// derives concise deterministic regular expressions — SOREs via iDTD,
+// CHAREs via CRX — or runs one of the baselines (XTRACT, the Trang-like
+// pipeline, classical state elimination) for comparison, and assembles
+// complete DTDs or XML Schemas.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"dtdinfer/internal/crx"
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/gfa"
+	"dtdinfer/internal/idtd"
+	"dtdinfer/internal/numpred"
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/soa"
+	"dtdinfer/internal/stateelim"
+	"dtdinfer/internal/tranglike"
+	"dtdinfer/internal/xsd"
+	"dtdinfer/internal/xtract"
+)
+
+// Algorithm selects the inference engine for content models.
+type Algorithm string
+
+const (
+	// IDTD is the paper's SORE inference: 2T-INF + rewrite + repair rules.
+	IDTD Algorithm = "idtd"
+	// CRX is the paper's CHARE inference, strongest on sparse data.
+	CRX Algorithm = "crx"
+	// RewriteOnly is rewrite without repair rules: fails on
+	// non-representative samples (used to reproduce Figure 4).
+	RewriteOnly Algorithm = "rewrite"
+	// XTRACT is the reconstruction of the Garofalakis et al. system.
+	XTRACT Algorithm = "xtract"
+	// TrangLike is the reconstruction of Trang's strategy.
+	TrangLike Algorithm = "trang"
+	// StateElim is classical state elimination over the 2T-INF automaton.
+	StateElim Algorithm = "stateelim"
+)
+
+// ParseAlgorithm converts a name (as used by the command-line tools) into
+// an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch Algorithm(name) {
+	case IDTD, CRX, RewriteOnly, XTRACT, TrangLike, StateElim:
+		return Algorithm(name), nil
+	}
+	return "", fmt.Errorf("core: unknown algorithm %q (want idtd, crx, rewrite, xtract, trang or stateelim)", name)
+}
+
+// Options tune the engines.
+type Options struct {
+	// IDTD options (fuzziness k, noise threshold, ...).
+	IDTD idtd.Options
+	// XTRACT options (string cap, block length).
+	XTRACT xtract.Options
+	// NumericPredicates enables the Section 9 post-processing that refines
+	// r+ factors to r{m}/r{m,} bounds from the sample.
+	NumericPredicates bool
+}
+
+// InferExpr derives a content-model expression from positive example
+// strings with the chosen algorithm.
+func InferExpr(sample [][]string, algo Algorithm, opts *Options) (*regex.Expr, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	var e *regex.Expr
+	var err error
+	switch algo {
+	case IDTD:
+		var res *idtd.Result
+		res, err = idtd.Infer(sample, &o.IDTD)
+		if err == nil {
+			e = res.Expr
+		}
+	case CRX:
+		var res *crx.Result
+		res, err = crx.Infer(sample)
+		if err == nil {
+			e = res.Expr
+		}
+	case RewriteOnly:
+		e, err = gfa.Rewrite(soa.Infer(sample))
+	case XTRACT:
+		e, err = xtract.Infer(sample, &o.XTRACT)
+	case TrangLike:
+		e, err = tranglike.Infer(sample)
+	case StateElim:
+		e, err = stateelim.FromSOA(soa.Infer(sample))
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.NumericPredicates {
+		e = numpred.Refine(e, sample)
+	}
+	return e, nil
+}
+
+// Inferrer adapts an algorithm to the dtd.InferFunc shape.
+func Inferrer(algo Algorithm, opts *Options) dtd.InferFunc {
+	return func(sample [][]string) (*regex.Expr, error) {
+		return InferExpr(sample, algo, opts)
+	}
+}
+
+// InferDTD extracts element sequences from the given XML documents and
+// infers a complete DTD.
+func InferDTD(docs []io.Reader, algo Algorithm, opts *Options) (*dtd.DTD, error) {
+	x := dtd.NewExtraction()
+	for i, r := range docs {
+		if err := x.AddDocument(r); err != nil {
+			return nil, fmt.Errorf("core: document %d: %w", i, err)
+		}
+	}
+	return x.InferDTD(Inferrer(algo, opts))
+}
+
+// InferDTDFromExtraction infers a DTD from already-extracted sequences.
+func InferDTDFromExtraction(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, error) {
+	return x.InferDTD(Inferrer(algo, opts))
+}
+
+// InferXSD infers a DTD from the documents and renders it as an XML Schema
+// with datatype detection over the sampled text values (Section 9).
+func InferXSD(docs []io.Reader, algo Algorithm, opts *Options) (string, error) {
+	x := dtd.NewExtraction()
+	for i, r := range docs {
+		if err := x.AddDocument(r); err != nil {
+			return "", fmt.Errorf("core: document %d: %w", i, err)
+		}
+	}
+	d, err := x.InferDTD(Inferrer(algo, opts))
+	if err != nil {
+		return "", err
+	}
+	return xsd.Generate(d, x.TextSamples), nil
+}

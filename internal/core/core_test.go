@@ -1,0 +1,138 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/regex"
+)
+
+func split(ws ...string) [][]string {
+	out := make([][]string, len(ws))
+	for i, w := range ws {
+		for _, r := range w {
+			out[i] = append(out[i], string(r))
+		}
+	}
+	return out
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for _, name := range []string{"idtd", "crx", "rewrite", "xtract", "trang", "stateelim"} {
+		if _, err := ParseAlgorithm(name); err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestInferExprAllAlgorithmsCoverSample(t *testing.T) {
+	sample := split("ab", "abb", "aab", "b")
+	for _, algo := range []Algorithm{IDTD, CRX, XTRACT, TrangLike, StateElim} {
+		e, err := InferExpr(sample, algo, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for _, w := range sample {
+			if !automata.ExprMember(regex.ExpandRepeats(e), w) {
+				t.Errorf("%s result %s rejects %v", algo, e, w)
+			}
+		}
+	}
+}
+
+func TestRewriteOnlyFailsOnNonRepresentative(t *testing.T) {
+	// The Figure 2 sample: rewrite alone must fail, iDTD must not.
+	sample := split("bacacdacde", "cbacdbacde")
+	if _, err := InferExpr(sample, RewriteOnly, nil); err == nil {
+		t.Error("rewrite should fail on the Figure 2 sample")
+	}
+	if _, err := InferExpr(sample, IDTD, nil); err != nil {
+		t.Errorf("iDTD should succeed: %v", err)
+	}
+}
+
+func TestNumericPredicatesOption(t *testing.T) {
+	sample := split("aabb", "aabbb")
+	e, err := InferExpr(sample, IDTD, &Options{NumericPredicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.String() != "a{2} b{2,}" {
+		t.Errorf("numeric result = %q, want a{2} b{2,}", e)
+	}
+}
+
+func TestInferDTDFromReaders(t *testing.T) {
+	docs := []string{
+		`<r><x>1</x><x>2</x></r>`,
+		`<r><x>3</x></r>`,
+	}
+	var readers []interface{ Read([]byte) (int, error) }
+	_ = readers
+	x := dtd.NewExtraction()
+	for _, d := range docs {
+		if err := x.AddDocument(strings.NewReader(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := InferDTDFromExtraction(x, IDTD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Elements["r"].Model.String(); got != "x+" {
+		t.Errorf("model = %q", got)
+	}
+}
+
+func TestInferXSDSmoke(t *testing.T) {
+	x := dtd.NewExtraction()
+	if err := x.AddDocument(strings.NewReader(`<r><n>7</n></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := InferDTDFromExtraction(x, CRX, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Elements["n"].Type != dtd.PCData {
+		t.Errorf("n should be #PCDATA")
+	}
+}
+
+func TestUnknownAlgorithmError(t *testing.T) {
+	if _, err := InferExpr(split("a"), Algorithm("nope"), nil); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+}
+
+func TestInferDTDAndXSDFromDocuments(t *testing.T) {
+	docs := []io.Reader{
+		strings.NewReader(`<r><x>1</x><y/></r>`),
+		strings.NewReader(`<r><x>2</x><x>3</x></r>`),
+	}
+	d, err := InferDTD(docs, IDTD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Elements["r"].Model.String(); got != "x+ y?" {
+		t.Errorf("model = %q", got)
+	}
+	out, err := InferXSD([]io.Reader{strings.NewReader(`<r><x>5</x></r>`)}, CRX, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `type="xs:integer"`) {
+		t.Errorf("XSD datatype detection missing:\n%s", out)
+	}
+	if _, err := InferDTD([]io.Reader{strings.NewReader("<broken")}, IDTD, nil); err == nil {
+		t.Error("malformed document must fail")
+	}
+	if _, err := InferXSD([]io.Reader{strings.NewReader("<broken")}, IDTD, nil); err == nil {
+		t.Error("malformed document must fail for XSD too")
+	}
+}

@@ -1,0 +1,176 @@
+// Package corpus synthesizes the evaluation corpora of Section 8. The
+// originals — the 683 MB Protein Sequence Database and the Mondial database
+// from the Miklau XML repository, and the XHTML crawl of Section 9 — are
+// not shippable, so each is re-created from the regularities the paper
+// reports: documents are generated from the element definitions the paper
+// lists (including the data-level quirks the inference is supposed to
+// discover, such as volume/month mutual exclusion in refinfo and the absent
+// a11 child of genetics), and the XHTML corpus carries the reported low
+// rate of disallowed children inside paragraph elements.
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dtdinfer/internal/datagen"
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/regex"
+)
+
+// ProteinDTD returns the Protein Sequence Database DTD fragment used in the
+// paper's discussion, with the loose refinfo definition
+// (volume? month? instead of (volume|month)).
+func ProteinDTD() *dtd.DTD {
+	return dtd.MustParse(`<!DOCTYPE ProteinDatabase [
+<!ELEMENT ProteinDatabase (ProteinEntry+)>
+<!ELEMENT ProteinEntry (header,protein,organism,reference+,genetics?,function?,classification?,keywords?,feature*,summary,sequence)>
+<!ELEMENT header (uid,accinfo)>
+<!ELEMENT protein (name,description?)>
+<!ELEMENT organism (source,common?,formal,variety?,note*)>
+<!ELEMENT reference (refinfo,accinfo*,note*,summary*)>
+<!ELEMENT refinfo (authors,citation,volume?,month?,year,pages?,(title|description)?,xrefs?)>
+<!ELEMENT authors (author+|(collective,author?))>
+<!ELEMENT accinfo (accession,mol-type*,seq-spec*,label?,status?,note?,xrefs*)>
+<!ELEMENT genetics (gene*,map-position?,genome?,mosaic?,module?,status?,introns?,mgi?,pgi?,egi?,gdb*,omim*)>
+<!ELEMENT function (description?,keyword*,note*)>
+<!ELEMENT uid (#PCDATA)> <!ELEMENT accession (#PCDATA)> <!ELEMENT name (#PCDATA)>
+<!ELEMENT description (#PCDATA)> <!ELEMENT source (#PCDATA)> <!ELEMENT common (#PCDATA)>
+<!ELEMENT formal (#PCDATA)> <!ELEMENT variety (#PCDATA)> <!ELEMENT note (#PCDATA)>
+<!ELEMENT citation (#PCDATA)> <!ELEMENT volume (#PCDATA)> <!ELEMENT month (#PCDATA)>
+<!ELEMENT year (#PCDATA)> <!ELEMENT pages (#PCDATA)> <!ELEMENT title (#PCDATA)>
+<!ELEMENT xrefs (#PCDATA)> <!ELEMENT author (#PCDATA)> <!ELEMENT collective (#PCDATA)>
+<!ELEMENT mol-type (#PCDATA)> <!ELEMENT seq-spec (#PCDATA)> <!ELEMENT label (#PCDATA)>
+<!ELEMENT status (#PCDATA)> <!ELEMENT gene (#PCDATA)> <!ELEMENT map-position (#PCDATA)>
+<!ELEMENT genome (#PCDATA)> <!ELEMENT mosaic (#PCDATA)> <!ELEMENT module (#PCDATA)>
+<!ELEMENT introns (#PCDATA)> <!ELEMENT mgi (#PCDATA)> <!ELEMENT pgi (#PCDATA)>
+<!ELEMENT egi (#PCDATA)> <!ELEMENT gdb (#PCDATA)> <!ELEMENT omim (#PCDATA)>
+<!ELEMENT classification (#PCDATA)> <!ELEMENT keywords (#PCDATA)> <!ELEMENT keyword (#PCDATA)>
+<!ELEMENT feature (#PCDATA)> <!ELEMENT summary (#PCDATA)> <!ELEMENT sequence (#PCDATA)>
+]>`)
+}
+
+// proteinCorpusDTD is the DTD the *data* actually follows: stricter than
+// ProteinDTD in exactly the ways the paper reports the corpus to be.
+func proteinCorpusDTD() *dtd.DTD {
+	d := ProteinDTD()
+	// The corpus never specifies volume and month together: one names a
+	// journal's volume, the other a conference month (Section 1.1).
+	d.Declare(&dtd.Element{
+		Name: "refinfo", Type: dtd.Children,
+		Model: regex.MustParse("authors,citation,(volume|month),year,pages?,(title|description)?,xrefs?"),
+	})
+	// Authors never have a collective without an author list completion.
+	d.Declare(&dtd.Element{
+		Name: "authors", Type: dtd.Children,
+		Model: regex.MustParse("author+|(collective,author)"),
+	})
+	return d
+}
+
+// Protein generates n Protein Sequence Database documents (one
+// ProteinDatabase root with one entry each, keeping documents small).
+func Protein(seed int64, n int) []string {
+	g := &datagen.DocGenerator{
+		DTD:     proteinCorpusDTD(),
+		Sampler: datagen.NewSampler(seed),
+		Text:    proteinText,
+	}
+	return g.GenerateN(n)
+}
+
+func proteinText(element string) string {
+	switch element {
+	case "uid", "volume", "introns":
+		return "42"
+	case "year":
+		return "2006"
+	case "month":
+		return "September"
+	case "pages":
+		return "912-915"
+	default:
+		return element + " value"
+	}
+}
+
+// MondialDTD returns the fragment of the Mondial DTD around the city
+// element used in Table 1.
+func MondialDTD() *dtd.DTD {
+	return dtd.MustParse(`<!DOCTYPE mondial [
+<!ELEMENT mondial (country+)>
+<!ELEMENT country (name,city+)>
+<!ELEMENT city (name,population*,located_at*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT population (#PCDATA)>
+<!ELEMENT located_at (#PCDATA)>
+]>`)
+}
+
+// Mondial generates n Mondial documents.
+func Mondial(seed int64, n int) []string {
+	g := &datagen.DocGenerator{
+		DTD:     MondialDTD(),
+		Sampler: datagen.NewSampler(seed),
+		Text: func(e string) string {
+			if e == "population" {
+				return "123456"
+			}
+			return e
+		},
+	}
+	return g.GenerateN(n)
+}
+
+// XHTMLParagraphSymbols is the size of the repeated disjunction in the
+// XHTML <p> content model the paper cites (k = 41).
+const XHTMLParagraphSymbols = 41
+
+// XHTMLParagraphs generates paragraph child sequences mimicking the noisy
+// XHTML corpus of Section 9: total strings drawn from the repeated
+// disjunction (a1+...+a41)*, of which noisy carry one disallowed child
+// (such as table or h1). The paper found about 10 offending strings among
+// more than 30000 paragraph occurrences.
+func XHTMLParagraphs(seed int64, total, noisy int) ([][]string, []string) {
+	alphabet := make([]string, XHTMLParagraphSymbols)
+	inline := []string{"a", "abbr", "acronym", "b", "bdo", "big", "br", "button",
+		"cite", "code", "del", "dfn", "em", "i", "img", "input", "ins", "kbd",
+		"label", "map", "object", "q", "samp", "select", "small", "span",
+		"strong", "sub", "sup", "textarea", "tt", "var", "u", "s", "strike",
+		"font", "iframe", "script", "noscript", "applet", "basefont"}
+	copy(alphabet, inline)
+	subs := make([]*regex.Expr, len(alphabet))
+	for i, s := range alphabet {
+		subs[i] = regex.Sym(s)
+	}
+	clean := regex.Star(regex.Union(subs...))
+	s := datagen.NewSampler(seed)
+	ws := s.SampleN(clean, total)
+	disallowed := []string{"table", "h1", "h2", "li", "div"}
+	for i := 0; i < noisy && i < total; i++ {
+		w := ws[i*total/(noisy+1)]
+		bad := disallowed[i%len(disallowed)]
+		ws[i*total/(noisy+1)] = append(append([]string{}, w...), bad)
+	}
+	return ws, alphabet
+}
+
+// Documents wraps generated document strings as readers for the public
+// inference API.
+func Documents(docs []string) []io.Reader {
+	out := make([]io.Reader, len(docs))
+	for i, d := range docs {
+		out[i] = strings.NewReader(d)
+	}
+	return out
+}
+
+// Describe summarizes a corpus for logging.
+func Describe(name string, docs []string) string {
+	bytes := 0
+	for _, d := range docs {
+		bytes += len(d)
+	}
+	return fmt.Sprintf("%s: %d documents, %d bytes", name, len(docs), bytes)
+}

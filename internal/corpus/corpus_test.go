@@ -1,0 +1,97 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"dtdinfer/internal/dtd"
+)
+
+func TestProteinCorpusValidAgainstPublishedDTD(t *testing.T) {
+	docs := Protein(1, 50)
+	if len(docs) != 50 {
+		t.Fatalf("got %d documents", len(docs))
+	}
+	v := dtd.NewValidator(ProteinDTD())
+	for i, doc := range docs {
+		violations, err := v.Validate(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("document %d malformed: %v", i, err)
+		}
+		if len(violations) != 0 {
+			t.Fatalf("document %d invalid: %v", i, violations)
+		}
+	}
+}
+
+func TestProteinCorpusNeverMixesVolumeAndMonth(t *testing.T) {
+	x := dtd.NewExtraction()
+	for _, doc := range Protein(2, 100) {
+		if err := x.AddDocument(strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, seq := range x.Sequences["refinfo"] {
+		hasVolume, hasMonth := false, false
+		for _, c := range seq {
+			if c == "volume" {
+				hasVolume = true
+			}
+			if c == "month" {
+				hasMonth = true
+			}
+		}
+		if hasVolume && hasMonth {
+			t.Fatalf("refinfo sequence %v mixes volume and month", seq)
+		}
+		if !hasVolume && !hasMonth {
+			t.Fatalf("refinfo sequence %v has neither volume nor month", seq)
+		}
+	}
+}
+
+func TestMondialCorpusValid(t *testing.T) {
+	v := dtd.NewValidator(MondialDTD())
+	for i, doc := range Mondial(3, 30) {
+		violations, err := v.Validate(strings.NewReader(doc))
+		if err != nil || len(violations) != 0 {
+			t.Fatalf("document %d invalid: %v %v", i, err, violations)
+		}
+	}
+}
+
+func TestXHTMLParagraphsNoise(t *testing.T) {
+	ws, alphabet := XHTMLParagraphs(4, 2000, 10)
+	if len(ws) != 2000 {
+		t.Fatalf("got %d strings", len(ws))
+	}
+	if len(alphabet) != XHTMLParagraphSymbols {
+		t.Fatalf("alphabet size = %d", len(alphabet))
+	}
+	clean := map[string]bool{}
+	for _, s := range alphabet {
+		clean[s] = true
+	}
+	noisy := 0
+	for _, w := range ws {
+		bad := false
+		for _, s := range w {
+			if !clean[s] {
+				bad = true
+			}
+		}
+		if bad {
+			noisy++
+		}
+	}
+	if noisy == 0 || noisy > 10 {
+		t.Errorf("noisy strings = %d, want 1..10", noisy)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	out := Describe("x", []string{"<a/>", "<b/>"})
+	if !strings.Contains(out, "2 documents") {
+		t.Errorf("Describe = %q", out)
+	}
+}

@@ -1,0 +1,173 @@
+package crx
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// State is the incremental summary CRX maintains instead of the raw sample
+// (Section 9, incremental computation): the →W edge relation, the order in
+// which symbols were first seen (for a deterministic topological sort), and
+// a multiset of per-string occurrence profiles with counts capped at two —
+// two is all the quantifier assignment distinguishes ("zero, one, or more").
+// The summary is quadratic in the alphabet plus one entry per distinct
+// profile; merging two summaries is exact, so incremental inference equals
+// batch inference.
+type State struct {
+	edges     map[string]map[string]bool
+	firstSeen map[string]int
+	profiles  map[string]*profile
+	seen      int
+	total     int
+}
+
+type profile struct {
+	counts map[string]int // per-symbol occurrences, capped at 2
+	mult   int            // number of sample strings with this profile
+}
+
+// NewState returns an empty summary.
+func NewState() *State {
+	return &State{
+		edges:     map[string]map[string]bool{},
+		firstSeen: map[string]int{},
+		profiles:  map[string]*profile{},
+	}
+}
+
+// AddString folds one sample string into the summary.
+func (st *State) AddString(w []string) {
+	st.total++
+	counts := map[string]int{}
+	for i, s := range w {
+		if _, ok := st.firstSeen[s]; !ok {
+			st.firstSeen[s] = st.seen
+			st.seen++
+		}
+		if counts[s] < 2 {
+			counts[s]++
+		}
+		if i+1 < len(w) {
+			m := st.edges[s]
+			if m == nil {
+				m = map[string]bool{}
+				st.edges[s] = m
+			}
+			m[w[i+1]] = true
+		}
+	}
+	key := profileKey(counts)
+	p := st.profiles[key]
+	if p == nil {
+		p = &profile{counts: counts}
+		st.profiles[key] = p
+	}
+	p.mult++
+}
+
+func profileKey(counts map[string]int) string {
+	syms := make([]string, 0, len(counts))
+	for s := range counts {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	var b strings.Builder
+	for _, s := range syms {
+		b.WriteString(s)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(counts[s]))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Merge folds another summary into st, implementing incremental
+// recomputation: summarize only the newly arrived strings and merge.
+func (st *State) Merge(other *State) {
+	// Preserve first-seen order: symbols new to st get ranks after all of
+	// st's, in other's own first-seen order.
+	type rankedSym struct {
+		sym  string
+		rank int
+	}
+	var incoming []rankedSym
+	for s, r := range other.firstSeen {
+		if _, ok := st.firstSeen[s]; !ok {
+			incoming = append(incoming, rankedSym{s, r})
+		}
+	}
+	sort.Slice(incoming, func(i, j int) bool { return incoming[i].rank < incoming[j].rank })
+	for _, rs := range incoming {
+		st.firstSeen[rs.sym] = st.seen
+		st.seen++
+	}
+	for a, succs := range other.edges {
+		m := st.edges[a]
+		if m == nil {
+			m = map[string]bool{}
+			st.edges[a] = m
+		}
+		for b := range succs {
+			m[b] = true
+		}
+	}
+	for key, p := range other.profiles {
+		q := st.profiles[key]
+		if q == nil {
+			counts := make(map[string]int, len(p.counts))
+			for s, c := range p.counts {
+				counts[s] = c
+			}
+			q = &profile{counts: counts}
+			st.profiles[key] = q
+		}
+		q.mult += p.mult
+	}
+	st.total += other.total
+}
+
+// Total returns the number of strings summarized.
+func (st *State) Total() int { return st.total }
+
+func (st *State) symbols() []string {
+	out := make([]string, 0, len(st.firstSeen))
+	for s := range st.firstSeen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (st *State) successors(s string) []string {
+	m := st.edges[s]
+	out := make([]string, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// classCounts returns how many sample strings contain zero occurrences of
+// symbols from the class (n0), exactly one (n1), and two or more (n2).
+func (st *State) classCounts(class []string) (n0, n1, n2 int) {
+	for _, p := range st.profiles {
+		total := 0
+		for _, s := range class {
+			total += p.counts[s]
+			if total >= 2 {
+				break
+			}
+		}
+		switch {
+		case total == 0:
+			n0 += p.mult
+		case total == 1:
+			n1 += p.mult
+		default:
+			n2 += p.mult
+		}
+	}
+	return n0, n1, n2
+}

@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/regex"
+)
+
+func TestDocGeneratorValidatesAgainstItsDTD(t *testing.T) {
+	d := dtd.MustParse(`<!DOCTYPE r [
+<!ELEMENT r (head,item+,foot?)>
+<!ELEMENT head (#PCDATA)>
+<!ELEMENT item (sku,(price|quote),note*)>
+<!ELEMENT sku (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT quote (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT foot EMPTY>
+]>`)
+	g := &DocGenerator{DTD: d, Sampler: NewSampler(1)}
+	v := dtd.NewValidator(d)
+	for i, doc := range g.GenerateN(100) {
+		violations, err := v.Validate(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("document %d malformed: %v\n%s", i, err, doc)
+		}
+		if len(violations) != 0 {
+			t.Fatalf("document %d invalid: %v\n%s", i, violations, doc)
+		}
+	}
+}
+
+func TestDocGeneratorRecursiveDTDTerminates(t *testing.T) {
+	d := dtd.MustParse(`<!DOCTYPE tree [
+<!ELEMENT tree (node)>
+<!ELEMENT node (leaf|node,node?)>
+<!ELEMENT leaf EMPTY>
+]>`)
+	g := &DocGenerator{DTD: d, Sampler: NewSampler(2), MaxDepth: 6}
+	for i := 0; i < 50; i++ {
+		doc := g.Generate()
+		if strings.Count(doc, "<node>") > 1<<12 {
+			t.Fatalf("runaway recursion: %d nodes", strings.Count(doc, "<node>"))
+		}
+	}
+}
+
+func TestDocGeneratorMixedAndText(t *testing.T) {
+	d := dtd.MustParse(`<!DOCTYPE p [
+<!ELEMENT p (#PCDATA|b)*>
+<!ELEMENT b (#PCDATA)>
+]>`)
+	g := &DocGenerator{
+		DTD:     d,
+		Sampler: NewSampler(3),
+		Text:    func(e string) string { return "<" + e + "&>" },
+	}
+	sawChild := false
+	for i := 0; i < 40; i++ {
+		doc := g.Generate()
+		if strings.Contains(doc, "<p&") || strings.Contains(doc, "< p") {
+			t.Fatalf("text not escaped: %s", doc)
+		}
+		if !strings.Contains(doc, "&lt;p&amp;&gt;") {
+			t.Fatalf("custom text missing or badly escaped: %s", doc)
+		}
+		if strings.Contains(doc, "<b>") {
+			sawChild = true
+		}
+	}
+	if !sawChild {
+		t.Error("mixed content never produced a child element")
+	}
+}
+
+func TestMinimalString(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int
+	}{
+		{"a b c", 3},
+		{"a?", 0},
+		{"a*", 0},
+		{"a+", 1},
+		{"a + b c", 1},
+		{"a{3}", 3},
+		{"(a + b?) c", 1}, // b? branch empty, then c
+	}
+	for _, tc := range tests {
+		got := minimalString(regex.MustParse(tc.expr))
+		if len(got) != tc.want {
+			t.Errorf("minimalString(%q) = %v (len %d), want len %d",
+				tc.expr, got, len(got), tc.want)
+		}
+	}
+}
+
+func TestDocGeneratorUndeclaredElement(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT r (ghost)>`)
+	g := &DocGenerator{DTD: d, Sampler: NewSampler(4)}
+	doc := g.Generate()
+	if !strings.Contains(doc, "<ghost/>") {
+		t.Errorf("undeclared children render as empty elements, got %s", doc)
+	}
+}

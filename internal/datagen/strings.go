@@ -1,0 +1,228 @@
+// Package datagen generates synthetic samples from regular expressions and
+// DTDs. It stands in for the ToXgene generator used in the paper's
+// experiments (Section 8): real corpora for expressions outside the simple
+// classes were not available, so the authors generated data "taking care
+// that all relevant examples where present to ensure the target expression
+// could be learned". RepresentativeSample reproduces exactly that: a sample
+// whose 2T-INF automaton has no missing edges with respect to the target.
+package datagen
+
+import (
+	"math/rand"
+	"sort"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/regex"
+)
+
+// Sampler draws random strings from a regular expression. Repetition
+// operators continue with probability Continue (default 1/2), truncated at
+// MaxReps (default 8) to bound string lengths.
+type Sampler struct {
+	Rng      *rand.Rand
+	Continue float64
+	MaxReps  int
+}
+
+// NewSampler returns a sampler with the default distribution.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{Rng: rand.New(rand.NewSource(seed)), Continue: 0.5, MaxReps: 8}
+}
+
+func (s *Sampler) reps() int {
+	n := 1
+	for n < s.maxReps() && s.Rng.Float64() < s.cont() {
+		n++
+	}
+	return n
+}
+
+func (s *Sampler) cont() float64 {
+	if s.Continue == 0 {
+		return 0.5
+	}
+	return s.Continue
+}
+
+func (s *Sampler) maxReps() int {
+	if s.MaxReps == 0 {
+		return 8
+	}
+	return s.MaxReps
+}
+
+// Sample draws one random string of L(e).
+func (s *Sampler) Sample(e *regex.Expr) []string {
+	var out []string
+	s.sampleInto(e, &out)
+	return out
+}
+
+// SampleN draws n random strings of L(e).
+func (s *Sampler) SampleN(e *regex.Expr, n int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = s.Sample(e)
+	}
+	return out
+}
+
+func (s *Sampler) sampleInto(e *regex.Expr, out *[]string) {
+	switch e.Op {
+	case regex.OpSymbol:
+		*out = append(*out, e.Name)
+	case regex.OpConcat:
+		for _, sub := range e.Subs {
+			s.sampleInto(sub, out)
+		}
+	case regex.OpUnion:
+		s.sampleInto(e.Subs[s.Rng.Intn(len(e.Subs))], out)
+	case regex.OpOpt:
+		if s.Rng.Intn(2) == 0 {
+			s.sampleInto(e.Sub(), out)
+		}
+	case regex.OpPlus:
+		for i, n := 0, s.reps(); i < n; i++ {
+			s.sampleInto(e.Sub(), out)
+		}
+	case regex.OpStar:
+		if s.Rng.Intn(2) == 0 {
+			return
+		}
+		for i, n := 0, s.reps(); i < n; i++ {
+			s.sampleInto(e.Sub(), out)
+		}
+	case regex.OpRepeat:
+		n := e.Min
+		if e.Max == regex.Unbounded {
+			n += s.reps() - 1
+		} else if e.Max > e.Min {
+			n += s.Rng.Intn(e.Max - e.Min + 1)
+		}
+		for i := 0; i < n; i++ {
+			s.sampleInto(e.Sub(), out)
+		}
+	}
+}
+
+// EdgeCoverSample returns a small set of strings of L(e) witnessing every
+// transition of the Glushkov automaton of e (and ε when e is nullable).
+// Every accepting path of the Glushkov automaton spells a string of L(e),
+// so one shortest path through each transition yields a sample whose
+// 2T-INF automaton covers every 2-gram, first symbol and last symbol that
+// e can realize — a representative sample in the Section 4 sense. For a
+// SORE the Glushkov automaton is the SOA itself (Proposition 1), making
+// the inferred SOA equal to SOA(e).
+func EdgeCoverSample(e *regex.Expr) [][]string {
+	a := automata.Glushkov(e)
+	var out [][]string
+	if e.Nullable() {
+		out = append(out, nil)
+	}
+	prefix := shortestPrefixes(a)
+	suffix := shortestSuffixes(a)
+	for s := 0; s < a.NumStates; s++ {
+		if prefix[s] == nil && s != 0 {
+			continue // unreachable position
+		}
+		for _, sym := range sortedSyms(a.Trans[s]) {
+			for _, t := range a.Trans[s][sym] {
+				tail, ok := suffix[t]
+				if !ok {
+					continue // dead position
+				}
+				w := append(append([]string{}, prefix[s]...), sym)
+				w = append(w, tail...)
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// sortedSyms keeps sample generation deterministic despite map iteration.
+func sortedSyms(m map[string][]int) []string {
+	out := make([]string, 0, len(m))
+	for sym := range m {
+		out = append(out, sym)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shortestPrefixes returns, per state, the symbols along a shortest path
+// from the start state to it (nil slice for the start itself).
+func shortestPrefixes(a *automata.NFA) map[int][]string {
+	out := map[int][]string{0: {}}
+	frontier := []int{0}
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		for _, sym := range sortedSyms(a.Trans[s]) {
+			for _, t := range a.Trans[s][sym] {
+				if _, ok := out[t]; ok {
+					continue
+				}
+				out[t] = append(append([]string{}, out[s]...), sym)
+				frontier = append(frontier, t)
+			}
+		}
+	}
+	return out
+}
+
+// shortestSuffixes returns, per state, the symbols along a shortest path
+// from it to an accepting state (empty slice when the state accepts).
+func shortestSuffixes(a *automata.NFA) map[int][]string {
+	// Reverse BFS over transitions.
+	type rev struct {
+		from int
+		sym  string
+	}
+	incoming := make(map[int][]rev)
+	for s := 0; s < a.NumStates; s++ {
+		for _, sym := range sortedSyms(a.Trans[s]) {
+			for _, t := range a.Trans[s][sym] {
+				incoming[t] = append(incoming[t], rev{from: s, sym: sym})
+			}
+		}
+	}
+	out := map[int][]string{}
+	var frontier []int
+	for s := 0; s < a.NumStates; s++ {
+		if a.Accept[s] {
+			out[s] = []string{}
+			frontier = append(frontier, s)
+		}
+	}
+	for len(frontier) > 0 {
+		t := frontier[0]
+		frontier = frontier[1:]
+		for _, r := range incoming[t] {
+			if _, ok := out[r.from]; ok {
+				continue
+			}
+			out[r.from] = append([]string{r.sym}, out[t]...)
+			frontier = append(frontier, r.from)
+		}
+	}
+	return out
+}
+
+// RepresentativeSample returns a sample of exactly n strings of L(e) whose
+// 2T-INF automaton equals the automaton of the SORE e: the edge-cover
+// strings padded with random draws and shuffled deterministically. It
+// panics if n is smaller than the size of the edge cover.
+func RepresentativeSample(s *Sampler, e *regex.Expr, n int) [][]string {
+	base := EdgeCoverSample(e)
+	if n < len(base) {
+		panic("datagen: representative sample size below edge-cover size")
+	}
+	for len(base) < n {
+		base = append(base, s.Sample(e))
+	}
+	s.Rng.Shuffle(len(base), func(i, j int) {
+		base[i], base[j] = base[j], base[i]
+	})
+	return base
+}

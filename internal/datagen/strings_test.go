@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/regextest"
+	"dtdinfer/internal/soa"
+)
+
+func TestSampleStringsAreMembers(t *testing.T) {
+	s := NewSampler(1)
+	alpha := []string{"a", "b", "c", "d"}
+	for i := 0; i < 100; i++ {
+		e := regextest.RandomExpr(rand.New(rand.NewSource(int64(i))), alpha, 4)
+		a := automata.Glushkov(e)
+		for j := 0; j < 20; j++ {
+			if w := s.Sample(e); !a.Member(w) {
+				t.Fatalf("sampled %v not in L(%s)", w, e)
+			}
+		}
+	}
+}
+
+func TestSampleRespectsRepeatBounds(t *testing.T) {
+	s := NewSampler(2)
+	e := regex.MustParse("a{2,4}")
+	for i := 0; i < 200; i++ {
+		w := s.Sample(e)
+		if len(w) < 2 || len(w) > 4 {
+			t.Fatalf("sample %v violates {2,4}", w)
+		}
+	}
+}
+
+func TestEdgeCoverSampleIsRepresentative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alpha := []string{"a", "b", "c", "d", "e", "f"}
+	for i := 0; i < 300; i++ {
+		e := regextest.RandomSORE(rng, alpha, 3)
+		ws := EdgeCoverSample(e)
+		got := soa.Infer(ws)
+		if !got.Representative(e) {
+			t.Fatalf("edge cover of %s is not representative:\nwant %s\ngot  %s",
+				e, soa.FromExpr(e), got)
+		}
+		// Every string must be a member of L(e).
+		g := automata.Glushkov(e)
+		for _, w := range ws {
+			if !g.Member(w) {
+				t.Fatalf("edge-cover string %v not in L(%s)", w, e)
+			}
+		}
+	}
+}
+
+func TestEdgeCoverIncludesEpsilonForNullable(t *testing.T) {
+	ws := EdgeCoverSample(regex.MustParse("(a b)?"))
+	foundEmpty := false
+	for _, w := range ws {
+		if len(w) == 0 {
+			foundEmpty = true
+		}
+	}
+	if !foundEmpty {
+		t.Error("nullable expression needs an ε witness")
+	}
+}
+
+func TestRepresentativeSampleSizeAndCoverage(t *testing.T) {
+	s := NewSampler(4)
+	e := regex.MustParse("((b?(a + c))+d)+e")
+	ws := RepresentativeSample(s, e, 50)
+	if len(ws) != 50 {
+		t.Fatalf("size = %d", len(ws))
+	}
+	if !soa.Infer(ws).Representative(e) {
+		t.Fatal("sample not representative")
+	}
+}
+
+func TestRepresentativeSamplePanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	RepresentativeSample(NewSampler(5), regex.MustParse("((b?(a + c))+d)+e"), 1)
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	e := regex.MustParse("(a + b)+ c?")
+	w1 := NewSampler(7).SampleN(e, 10)
+	w2 := NewSampler(7).SampleN(e, 10)
+	for i := range w1 {
+		if len(w1[i]) != len(w2[i]) {
+			t.Fatal("same seed must give same sample")
+		}
+		for j := range w1[i] {
+			if w1[i][j] != w2[i][j] {
+				t.Fatal("same seed must give same sample")
+			}
+		}
+	}
+}

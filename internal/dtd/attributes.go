@@ -1,0 +1,247 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute inference extends the paper's element-content inference to
+// <!ATTLIST> declarations, which any practical DTD inference tool needs.
+// The heuristics mirror the spirit of the Section 9 datatype discussion:
+//
+//   - an attribute present on every occurrence of its element is
+//     #REQUIRED, otherwise #IMPLIED;
+//   - an attribute whose values are all distinct name tokens across a
+//     sufficiently large sample is an ID;
+//   - an attribute whose values all come from the ID values of some ID
+//     attribute is an IDREF;
+//   - a small set of repeating name-token values becomes an enumeration;
+//   - everything else is CDATA.
+
+// AttType classifies an attribute declaration.
+type AttType int
+
+const (
+	// CDATA is unrestricted character data.
+	CDATA AttType = iota
+	// NMTOKEN restricts values to name tokens.
+	NMTOKEN
+	// Enumerated restricts values to a fixed set.
+	Enumerated
+	// ID declares a document-unique identifier.
+	ID
+	// IDREF declares a reference to an ID.
+	IDREF
+)
+
+func (t AttType) String() string {
+	switch t {
+	case CDATA:
+		return "CDATA"
+	case NMTOKEN:
+		return "NMTOKEN"
+	case Enumerated:
+		return "enumeration"
+	case ID:
+		return "ID"
+	case IDREF:
+		return "IDREF"
+	}
+	return fmt.Sprintf("AttType(%d)", int(t))
+}
+
+// Attribute is one attribute declaration of an element.
+type Attribute struct {
+	// Name is the attribute name.
+	Name string
+	// Type classifies the values.
+	Type AttType
+	// Values is the sorted enumeration for Type Enumerated.
+	Values []string
+	// Required marks #REQUIRED (false renders #IMPLIED).
+	Required bool
+}
+
+// String renders the attribute definition part of an <!ATTLIST>.
+func (a *Attribute) String() string {
+	typ := a.Type.String()
+	if a.Type == Enumerated {
+		typ = "(" + strings.Join(a.Values, "|") + ")"
+	}
+	use := "#IMPLIED"
+	if a.Required {
+		use = "#REQUIRED"
+	}
+	return fmt.Sprintf("%s %s %s", a.Name, typ, use)
+}
+
+// DeclareAttribute adds (or replaces) an attribute declaration on an
+// element already declared in the DTD.
+func (d *DTD) DeclareAttribute(element string, a *Attribute) {
+	e := d.Elements[element]
+	if e == nil {
+		e = &Element{Name: element, Type: Empty}
+		d.Declare(e)
+	}
+	for i, old := range e.Attributes {
+		if old.Name == a.Name {
+			e.Attributes[i] = a
+			return
+		}
+	}
+	e.Attributes = append(e.Attributes, a)
+	sort.Slice(e.Attributes, func(i, j int) bool {
+		return e.Attributes[i].Name < e.Attributes[j].Name
+	})
+}
+
+// attStats accumulates per-element, per-attribute observations.
+type attStats struct {
+	// present counts occurrences of the attribute.
+	present int
+	// values holds distinct observed values (capped) and their counts.
+	values map[string]int
+	// overflow marks that the distinct-value cap was hit.
+	overflow bool
+}
+
+const (
+	maxAttValues = 256
+	// minIDSample is the minimum number of observations before an
+	// all-distinct attribute is promoted to ID.
+	minIDSample = 3
+	// maxEnumValues bounds enumeration size.
+	maxEnumValues = 8
+)
+
+// inferAttributes converts accumulated statistics into declarations on d.
+func (x *Extraction) inferAttributes(d *DTD) {
+	// First pass: find ID attributes and collect their value pools.
+	idPools := map[string]map[string]int{} // "elem attr" -> values
+	type key struct{ elem, att string }
+	var keys []key
+	for elem, atts := range x.Attributes {
+		for name := range atts {
+			keys = append(keys, key{elem, name})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].elem != keys[j].elem {
+			return keys[i].elem < keys[j].elem
+		}
+		return keys[i].att < keys[j].att
+	})
+	for _, k := range keys {
+		st := x.Attributes[k.elem][k.att]
+		if isIDLike(st) {
+			idPools[k.elem+" "+k.att] = st.values
+		}
+	}
+	for _, k := range keys {
+		st := x.Attributes[k.elem][k.att]
+		if d.Elements[k.elem] == nil {
+			continue // attribute on an element never closed? defensive
+		}
+		occurrences := 0
+		for _, s := range x.Sequences[k.elem] {
+			_ = s
+			occurrences++
+		}
+		a := &Attribute{
+			Name:     k.att,
+			Required: st.present == occurrences && occurrences > 0,
+		}
+		switch {
+		case isIDLike(st):
+			a.Type = ID
+		case x.isIDRefLike(k.elem, k.att, st, idPools):
+			a.Type = IDREF
+		case isEnumLike(st):
+			a.Type = Enumerated
+			for v := range st.values {
+				a.Values = append(a.Values, v)
+			}
+			sort.Strings(a.Values)
+		case allNMTokens(st):
+			a.Type = NMTOKEN
+		default:
+			a.Type = CDATA
+		}
+		d.DeclareAttribute(k.elem, a)
+	}
+}
+
+func isIDLike(st *attStats) bool {
+	if st.overflow || st.present < minIDSample || len(st.values) != st.present {
+		return false
+	}
+	return allNMTokens(st)
+}
+
+// isIDRefLike reports whether every value of the attribute occurs in some
+// ID attribute's value pool (of a different element/attribute).
+func (x *Extraction) isIDRefLike(elem, att string, st *attStats, idPools map[string]map[string]int) bool {
+	if st.overflow || len(st.values) == 0 || !allNMTokens(st) {
+		return false
+	}
+	self := elem + " " + att
+	for pool, values := range idPools {
+		if pool == self {
+			continue
+		}
+		all := true
+		for v := range st.values {
+			if values[v] == 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func isEnumLike(st *attStats) bool {
+	if st.overflow || len(st.values) > maxEnumValues || len(st.values) == 0 {
+		return false
+	}
+	if !allNMTokens(st) {
+		return false
+	}
+	// Each value must repeat: otherwise there is no evidence of a closed set.
+	if st.present < 2*len(st.values) {
+		return false
+	}
+	for _, n := range st.values {
+		if n < 2 {
+			return false
+		}
+	}
+	return true
+}
+
+func allNMTokens(st *attStats) bool {
+	for v := range st.values {
+		if !isNameToken(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameToken(v string) bool {
+	if v == "" {
+		return false
+	}
+	for _, r := range v {
+		ok := r == '.' || r == '-' || r == '_' || r == ':' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

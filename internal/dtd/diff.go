@@ -1,0 +1,172 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dtdinfer/internal/automata"
+)
+
+// Relation compares the languages of two content models.
+type Relation int
+
+const (
+	// Equivalent: both models denote the same language.
+	Equivalent Relation = iota
+	// Stricter: the first model's language is strictly contained in the
+	// second's (the first is the tighter schema).
+	Stricter
+	// Looser: the first model's language strictly contains the second's.
+	Looser
+	// Incomparable: neither contains the other.
+	Incomparable
+	// OnlyFirst and OnlySecond mark elements declared in one DTD only.
+	OnlyFirst
+	// OnlySecond marks elements declared only in the second DTD.
+	OnlySecond
+	// Different marks declarations whose content kinds differ (for
+	// example EMPTY in one and #PCDATA in the other).
+	Different
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Equivalent:
+		return "equivalent"
+	case Stricter:
+		return "stricter"
+	case Looser:
+		return "looser"
+	case Incomparable:
+		return "incomparable"
+	case OnlyFirst:
+		return "only in first"
+	case OnlySecond:
+		return "only in second"
+	case Different:
+		return "different kind"
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// DiffEntry is one element's comparison.
+type DiffEntry struct {
+	Element  string
+	Relation Relation
+	// First and Second render the two declarations ("" when missing).
+	First, Second string
+}
+
+// Diff compares two DTDs element by element, by the languages of their
+// content models. This is the paper's schema-cleaning workflow in tool
+// form: diffing a published DTD against the DTD inferred from the actual
+// corpus reveals where the data is stricter (the refinfo volume/month
+// exclusion) and, in the noise scenario of Section 9, diffing the
+// inferred schema against the specification gives "a uniform view of the
+// kind of errors".
+func Diff(a, b *DTD) []DiffEntry {
+	names := map[string]bool{}
+	for n := range a.Elements {
+		names[n] = true
+	}
+	for n := range b.Elements {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var out []DiffEntry
+	for _, n := range sorted {
+		ea, eb := a.Elements[n], b.Elements[n]
+		entry := DiffEntry{Element: n}
+		switch {
+		case ea == nil:
+			entry.Relation = OnlySecond
+			entry.Second = eb.String()
+		case eb == nil:
+			entry.Relation = OnlyFirst
+			entry.First = ea.String()
+		default:
+			entry.First, entry.Second = ea.String(), eb.String()
+			entry.Relation = compareElements(ea, eb)
+		}
+		out = append(out, entry)
+	}
+	return out
+}
+
+func compareElements(ea, eb *Element) Relation {
+	if ea.Type != eb.Type {
+		return Different
+	}
+	switch ea.Type {
+	case Children:
+		da, db := automata.FromExpr(ea.Model), automata.FromExpr(eb.Model)
+		aInB := automata.Includes(db, da)
+		bInA := automata.Includes(da, db)
+		switch {
+		case aInB && bInA:
+			return Equivalent
+		case aInB:
+			return Stricter
+		case bInA:
+			return Looser
+		default:
+			return Incomparable
+		}
+	case Mixed:
+		sa := strings.Join(ea.MixedNames, "|")
+		sb := strings.Join(eb.MixedNames, "|")
+		switch {
+		case sa == sb:
+			return Equivalent
+		case subsetNames(ea.MixedNames, eb.MixedNames):
+			return Stricter
+		case subsetNames(eb.MixedNames, ea.MixedNames):
+			return Looser
+		default:
+			return Incomparable
+		}
+	default:
+		return Equivalent
+	}
+}
+
+func subsetNames(a, b []string) bool {
+	set := map[string]bool{}
+	for _, n := range b {
+		set[n] = true
+	}
+	for _, n := range a {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatDiff renders a diff, hiding equivalent entries unless verbose.
+func FormatDiff(entries []DiffEntry, verbose bool) string {
+	var b strings.Builder
+	changed := 0
+	for _, e := range entries {
+		if e.Relation == Equivalent && !verbose {
+			continue
+		}
+		changed++
+		fmt.Fprintf(&b, "%s: %s\n", e.Element, e.Relation)
+		if e.First != "" {
+			fmt.Fprintf(&b, "  first : %s\n", e.First)
+		}
+		if e.Second != "" {
+			fmt.Fprintf(&b, "  second: %s\n", e.Second)
+		}
+	}
+	if changed == 0 {
+		return "DTDs are equivalent\n"
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffSchemaCleaning(t *testing.T) {
+	published := MustParse(`<!DOCTYPE r [
+<!ELEMENT r (refinfo)>
+<!ELEMENT refinfo (authors,citation,volume?,month?,year)>
+<!ELEMENT authors (#PCDATA)> <!ELEMENT citation (#PCDATA)>
+<!ELEMENT volume (#PCDATA)> <!ELEMENT month (#PCDATA)> <!ELEMENT year (#PCDATA)>
+]>`)
+	inferred := MustParse(`<!DOCTYPE r [
+<!ELEMENT r (refinfo)>
+<!ELEMENT refinfo (authors,citation,(volume|month),year)>
+<!ELEMENT authors (#PCDATA)> <!ELEMENT citation (#PCDATA)>
+<!ELEMENT volume (#PCDATA)> <!ELEMENT month (#PCDATA)> <!ELEMENT year (#PCDATA)>
+]>`)
+	entries := Diff(inferred, published)
+	byName := map[string]DiffEntry{}
+	for _, e := range entries {
+		byName[e.Element] = e
+	}
+	if got := byName["refinfo"].Relation; got != Stricter {
+		t.Errorf("refinfo relation = %v, want Stricter", got)
+	}
+	if got := byName["year"].Relation; got != Equivalent {
+		t.Errorf("year relation = %v, want Equivalent", got)
+	}
+	out := FormatDiff(entries, false)
+	if !strings.Contains(out, "refinfo: stricter") {
+		t.Errorf("diff output missing refinfo line:\n%s", out)
+	}
+	if strings.Contains(out, "year: equivalent") {
+		t.Errorf("equivalent elements should be hidden:\n%s", out)
+	}
+}
+
+func TestDiffRelations(t *testing.T) {
+	a := MustParse(`<!ELEMENT e (x,y)> <!ELEMENT x EMPTY> <!ELEMENT y EMPTY> <!ELEMENT extra EMPTY>`)
+	b := MustParse(`<!ELEMENT e (y,x)> <!ELEMENT x EMPTY> <!ELEMENT y (#PCDATA)> <!ELEMENT other EMPTY>`)
+	byName := map[string]DiffEntry{}
+	for _, e := range Diff(a, b) {
+		byName[e.Element] = e
+	}
+	if byName["e"].Relation != Incomparable {
+		t.Errorf("e = %v, want Incomparable", byName["e"].Relation)
+	}
+	if byName["x"].Relation != Equivalent {
+		t.Errorf("x = %v", byName["x"].Relation)
+	}
+	if byName["y"].Relation != Different {
+		t.Errorf("y = %v, want Different", byName["y"].Relation)
+	}
+	if byName["extra"].Relation != OnlyFirst {
+		t.Errorf("extra = %v", byName["extra"].Relation)
+	}
+	if byName["other"].Relation != OnlySecond {
+		t.Errorf("other = %v", byName["other"].Relation)
+	}
+}
+
+func TestDiffLooser(t *testing.T) {
+	a := MustParse(`<!ELEMENT e (x*)> <!ELEMENT x EMPTY>`)
+	b := MustParse(`<!ELEMENT e (x+)> <!ELEMENT x EMPTY>`)
+	for _, entry := range Diff(a, b) {
+		if entry.Element == "e" && entry.Relation != Looser {
+			t.Errorf("e = %v, want Looser", entry.Relation)
+		}
+	}
+}
+
+func TestDiffMixed(t *testing.T) {
+	a := MustParse(`<!ELEMENT p (#PCDATA|b)*> <!ELEMENT b EMPTY>`)
+	b := MustParse(`<!ELEMENT p (#PCDATA|b|i)*> <!ELEMENT b EMPTY> <!ELEMENT i EMPTY>`)
+	for _, entry := range Diff(a, b) {
+		if entry.Element == "p" && entry.Relation != Stricter {
+			t.Errorf("p = %v, want Stricter", entry.Relation)
+		}
+	}
+}
+
+func TestFormatDiffEquivalent(t *testing.T) {
+	a := MustParse(`<!ELEMENT e (x)> <!ELEMENT x EMPTY>`)
+	if got := FormatDiff(Diff(a, a), false); got != "DTDs are equivalent\n" {
+		t.Errorf("FormatDiff = %q", got)
+	}
+	if got := FormatDiff(Diff(a, a), true); !strings.Contains(got, "equivalent") {
+		t.Errorf("verbose FormatDiff = %q", got)
+	}
+}

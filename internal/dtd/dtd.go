@@ -1,0 +1,171 @@
+// Package dtd provides the Document Type Definition substrate: the DTD
+// model, a parser and serializer for <!ELEMENT> declarations, extraction of
+// element content sequences from XML documents (the strings the inference
+// algorithms learn from), and validation of documents against a DTD.
+//
+// A DTD is abstracted, as in Section 3 of the paper, as a mapping from
+// element names to regular expressions over element names, plus a start
+// symbol.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dtdinfer/internal/regex"
+)
+
+// ContentType classifies an element declaration.
+type ContentType int
+
+const (
+	// Children is a content model given by a regular expression.
+	Children ContentType = iota
+	// Empty is the EMPTY content model.
+	Empty
+	// Any is the ANY content model.
+	Any
+	// PCData is text-only content, (#PCDATA).
+	PCData
+	// Mixed is mixed content, (#PCDATA | a | b)*.
+	Mixed
+)
+
+func (t ContentType) String() string {
+	switch t {
+	case Children:
+		return "children"
+	case Empty:
+		return "EMPTY"
+	case Any:
+		return "ANY"
+	case PCData:
+		return "#PCDATA"
+	case Mixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("ContentType(%d)", int(t))
+}
+
+// Element is one <!ELEMENT> declaration.
+type Element struct {
+	// Name is the element name.
+	Name string
+	// Type classifies the content model.
+	Type ContentType
+	// Model is the content regular expression for Type Children.
+	Model *regex.Expr
+	// MixedNames are the allowed child names for Type Mixed, sorted.
+	MixedNames []string
+	// Attributes are the element's attribute declarations, sorted by name.
+	Attributes []*Attribute
+}
+
+// DTD is a set of element declarations with a designated root.
+type DTD struct {
+	// Root is the start symbol sd.
+	Root string
+	// Elements maps element names to their declarations.
+	Elements map[string]*Element
+	order    []string
+}
+
+// New returns an empty DTD with the given root element name.
+func New(root string) *DTD {
+	return &DTD{Root: root, Elements: map[string]*Element{}}
+}
+
+// Declare adds or replaces an element declaration, preserving first-
+// declaration order for serialization.
+func (d *DTD) Declare(e *Element) {
+	if _, ok := d.Elements[e.Name]; !ok {
+		d.order = append(d.order, e.Name)
+	}
+	d.Elements[e.Name] = e
+}
+
+// Names returns the declared element names in declaration order.
+func (d *DTD) Names() []string {
+	return append([]string{}, d.order...)
+}
+
+// Model returns the content expression of an element (nil when the element
+// is undeclared or has no Children model).
+func (d *DTD) Model(name string) *regex.Expr {
+	e := d.Elements[name]
+	if e == nil {
+		return nil
+	}
+	return e.Model
+}
+
+// String serializes the DTD as <!DOCTYPE root [ ... ]> with one <!ELEMENT>
+// declaration per line.
+func (d *DTD) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE %s [\n", d.Root)
+	for _, name := range d.order {
+		e := d.Elements[name]
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+		for _, a := range e.Attributes {
+			fmt.Fprintf(&b, "<!ATTLIST %s %s>\n", name, a)
+		}
+	}
+	b.WriteString("]>")
+	return b.String()
+}
+
+// String serializes one declaration.
+func (e *Element) String() string {
+	switch e.Type {
+	case Empty:
+		return fmt.Sprintf("<!ELEMENT %s EMPTY>", e.Name)
+	case Any:
+		return fmt.Sprintf("<!ELEMENT %s ANY>", e.Name)
+	case PCData:
+		return fmt.Sprintf("<!ELEMENT %s (#PCDATA)>", e.Name)
+	case Mixed:
+		names := append([]string{}, e.MixedNames...)
+		sort.Strings(names)
+		return fmt.Sprintf("<!ELEMENT %s (#PCDATA|%s)*>", e.Name, strings.Join(names, "|"))
+	default:
+		return fmt.Sprintf("<!ELEMENT %s (%s)>", e.Name, e.Model.DTDString())
+	}
+}
+
+// Equal reports whether two DTDs have the same root and syntactically equal
+// declarations (content models up to commutativity of choices).
+func (d *DTD) Equal(o *DTD) bool {
+	if d.Root != o.Root || len(d.Elements) != len(o.Elements) {
+		return false
+	}
+	for name, e := range d.Elements {
+		oe := o.Elements[name]
+		if oe == nil || e.Type != oe.Type {
+			return false
+		}
+		switch e.Type {
+		case Children:
+			if !regex.EqualModuloUnionOrder(e.Model, oe.Model) {
+				return false
+			}
+		case Mixed:
+			if strings.Join(e.MixedNames, ",") != strings.Join(oe.MixedNames, ",") {
+				return false
+			}
+		}
+		if len(e.Attributes) != len(oe.Attributes) {
+			return false
+		}
+		for i, a := range e.Attributes {
+			oa := oe.Attributes[i]
+			if a.Name != oa.Name || a.Type != oa.Type || a.Required != oa.Required ||
+				strings.Join(a.Values, "|") != strings.Join(oa.Values, "|") {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package dtd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"dtdinfer/internal/regex"
+)
+
+// Extraction accumulates, over one or more XML documents, the child-element
+// sequences observed under every element name — the positive example
+// strings from which a DTD is inferred — plus whether non-whitespace text
+// was seen and the root element names.
+type Extraction struct {
+	// Sequences maps an element name to the observed children sequences.
+	Sequences map[string][][]string
+	// HasText marks elements with non-whitespace character data.
+	HasText map[string]bool
+	// TextSamples keeps up to maxTextSamples trimmed text values per
+	// element, for datatype detection when emitting XML Schema.
+	TextSamples map[string][]string
+	// Attributes accumulates per-element attribute statistics for
+	// <!ATTLIST> inference.
+	Attributes map[string]map[string]*attStats
+	// Roots counts observed document root names.
+	Roots map[string]int
+	// Documents counts processed documents.
+	Documents int
+}
+
+const maxTextSamples = 100
+
+// NewExtraction returns an empty accumulator.
+func NewExtraction() *Extraction {
+	return &Extraction{
+		Sequences:   map[string][][]string{},
+		HasText:     map[string]bool{},
+		TextSamples: map[string][]string{},
+		Attributes:  map[string]map[string]*attStats{},
+		Roots:       map[string]int{},
+	}
+}
+
+// AddDocument parses one XML document and accumulates its sequences.
+func (x *Extraction) AddDocument(r io.Reader) error {
+	dec := xml.NewDecoder(r)
+	type frame struct {
+		name     string
+		children []string
+	}
+	var stack []frame
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("dtd: parsing XML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			name := t.Name.Local
+			if len(stack) == 0 {
+				x.Roots[name]++
+			} else {
+				top := &stack[len(stack)-1]
+				top.children = append(top.children, name)
+			}
+			for _, attr := range t.Attr {
+				if attr.Name.Space == "xmlns" || attr.Name.Local == "xmlns" {
+					continue
+				}
+				x.recordAttribute(name, attr.Name.Local, attr.Value)
+			}
+			stack = append(stack, frame{name: name})
+		case xml.EndElement:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x.Sequences[top.name] = append(x.Sequences[top.name], top.children)
+		case xml.CharData:
+			if trimmed := strings.TrimSpace(string(t)); len(stack) > 0 && trimmed != "" {
+				name := stack[len(stack)-1].name
+				x.HasText[name] = true
+				if len(x.TextSamples[name]) < maxTextSamples {
+					x.TextSamples[name] = append(x.TextSamples[name], trimmed)
+				}
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("dtd: unbalanced XML document")
+	}
+	x.Documents++
+	return nil
+}
+
+// recordAttribute folds one observed attribute value into the statistics.
+func (x *Extraction) recordAttribute(element, attribute, value string) {
+	atts := x.Attributes[element]
+	if atts == nil {
+		atts = map[string]*attStats{}
+		x.Attributes[element] = atts
+	}
+	st := atts[attribute]
+	if st == nil {
+		st = &attStats{values: map[string]int{}}
+		atts[attribute] = st
+	}
+	st.present++
+	if _, seen := st.values[value]; !seen && len(st.values) >= maxAttValues {
+		st.overflow = true
+		return
+	}
+	st.values[value]++
+}
+
+// AddSequences injects pre-extracted strings for an element, used when the
+// sample is generated directly as strings rather than documents.
+func (x *Extraction) AddSequences(element string, seqs [][]string) {
+	x.Sequences[element] = append(x.Sequences[element], seqs...)
+}
+
+// Root returns the most frequent root element name.
+func (x *Extraction) Root() string {
+	best, bestN := "", -1
+	names := make([]string, 0, len(x.Roots))
+	for n := range x.Roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if x.Roots[n] > bestN {
+			best, bestN = n, x.Roots[n]
+		}
+	}
+	return best
+}
+
+// InferFunc turns a sample of strings into a content expression. The
+// inference algorithms (iDTD, CRX, the baselines) are adapted to this shape
+// by the public API.
+type InferFunc = func(sample [][]string) (*regex.Expr, error)
+
+// InferDTD builds a DTD from the accumulated sequences, applying the given
+// content-model inferrer to every element observed with child elements.
+// Elements seen with only text become (#PCDATA), with both text and
+// children mixed content, and with neither EMPTY. Content models of
+// different elements are independent and are inferred concurrently; the
+// result is deterministic regardless of scheduling.
+func (x *Extraction) InferDTD(infer InferFunc) (*DTD, error) {
+	names := make([]string, 0, len(x.Sequences))
+	for n := range x.Sequences {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dtd: no elements observed")
+	}
+	elements := make([]*Element, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, name := range names {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			elements[i], errs[i] = x.inferElement(name, infer)
+		}(i, name)
+	}
+	wg.Wait()
+	d := New(x.Root())
+	for i, e := range elements {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		d.Declare(e)
+	}
+	x.inferAttributes(d)
+	return d, nil
+}
+
+// inferElement derives one element's declaration.
+func (x *Extraction) inferElement(name string, infer InferFunc) (*Element, error) {
+	seqs := x.Sequences[name]
+	hasChildren := false
+	childSet := map[string]bool{}
+	for _, s := range seqs {
+		if len(s) > 0 {
+			hasChildren = true
+		}
+		for _, c := range s {
+			childSet[c] = true
+		}
+	}
+	switch {
+	case !hasChildren && x.HasText[name]:
+		return &Element{Name: name, Type: PCData}, nil
+	case !hasChildren:
+		return &Element{Name: name, Type: Empty}, nil
+	case x.HasText[name]:
+		mixed := make([]string, 0, len(childSet))
+		for c := range childSet {
+			mixed = append(mixed, c)
+		}
+		sort.Strings(mixed)
+		return &Element{Name: name, Type: Mixed, MixedNames: mixed}, nil
+	default:
+		model, err := infer(seqs)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: inferring content model of %s: %w", name, err)
+		}
+		return &Element{Name: name, Type: Children, Model: model}, nil
+	}
+}

@@ -1,0 +1,212 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dtdinfer/internal/regex"
+)
+
+// Parse reads a DTD from its textual form: a sequence of <!ELEMENT>
+// declarations, optionally wrapped in <!DOCTYPE root [ ... ]>. Attribute
+// lists, entities, comments and processing instructions are skipped. When
+// no DOCTYPE wrapper names the root, the first declared element is used.
+func Parse(src string) (*DTD, error) {
+	root := ""
+	rest := src
+	if i := strings.Index(rest, "<!DOCTYPE"); i >= 0 {
+		j := i + len("<!DOCTYPE")
+		for j < len(rest) && (rest[j] == ' ' || rest[j] == '\t' || rest[j] == '\n' || rest[j] == '\r') {
+			j++
+		}
+		k := j
+		for k < len(rest) && !strings.ContainsRune(" \t\n\r[<>", rune(rest[k])) {
+			k++
+		}
+		root = rest[j:k]
+	}
+	d := New(root)
+	for {
+		ie := strings.Index(rest, "<!ELEMENT")
+		ia := strings.Index(rest, "<!ATTLIST")
+		if ie < 0 && ia < 0 {
+			break
+		}
+		isAtt := ia >= 0 && (ie < 0 || ia < ie)
+		i := ie
+		if isAtt {
+			i = ia
+		}
+		rest = rest[i+len("<!ELEMENT"):] // both markers have equal length
+		j := strings.IndexByte(rest, '>')
+		if j < 0 {
+			return nil, fmt.Errorf("dtd: unterminated declaration in %q", rest)
+		}
+		decl := strings.TrimSpace(rest[:j])
+		rest = rest[j+1:]
+		if isAtt {
+			if err := parseAttlist(d, decl); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		e, err := parseElement(decl)
+		if err != nil {
+			return nil, err
+		}
+		d.Declare(e)
+	}
+	if len(d.order) == 0 {
+		return nil, fmt.Errorf("dtd: no <!ELEMENT> declarations found")
+	}
+	if d.Root == "" {
+		d.Root = d.order[0]
+	}
+	return d, nil
+}
+
+// MustParse is Parse that panics on error, for fixed tables in tests and
+// experiments.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func parseElement(decl string) (*Element, error) {
+	sp := strings.IndexFunc(decl, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' })
+	if sp < 0 {
+		return nil, fmt.Errorf("dtd: malformed declaration %q", decl)
+	}
+	name := decl[:sp]
+	content := strings.TrimSpace(decl[sp:])
+	switch {
+	case content == "EMPTY":
+		return &Element{Name: name, Type: Empty}, nil
+	case content == "ANY":
+		return &Element{Name: name, Type: Any}, nil
+	case content == "(#PCDATA)" || content == "(#PCDATA)*":
+		return &Element{Name: name, Type: PCData}, nil
+	case strings.HasPrefix(content, "(#PCDATA"):
+		inner := strings.TrimPrefix(content, "(#PCDATA")
+		inner = strings.TrimSuffix(strings.TrimSuffix(inner, "*"), ")")
+		var names []string
+		for _, n := range strings.Split(inner, "|") {
+			n = strings.TrimSpace(n)
+			if n != "" {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		return &Element{Name: name, Type: Mixed, MixedNames: names}, nil
+	default:
+		model, err := regex.Parse(content)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: element %s: %w", name, err)
+		}
+		return &Element{Name: name, Type: Children, Model: model}, nil
+	}
+}
+
+// parseAttlist parses the body of an <!ATTLIST element (name type default)+>
+// declaration. Attribute defaults other than #REQUIRED/#IMPLIED/#FIXED are
+// recorded as implied; #FIXED values are skipped.
+func parseAttlist(d *DTD, decl string) error {
+	fields := tokenizeAttlist(decl)
+	if len(fields) < 1 {
+		return fmt.Errorf("dtd: malformed <!ATTLIST %s>", decl)
+	}
+	element := fields[0]
+	rest := fields[1:]
+	for len(rest) > 0 {
+		if len(rest) < 3 {
+			return fmt.Errorf("dtd: malformed attribute definition in <!ATTLIST %s>", decl)
+		}
+		a := &Attribute{Name: rest[0]}
+		typ := rest[1]
+		switch {
+		case typ == "CDATA":
+			a.Type = CDATA
+		case typ == "ID":
+			a.Type = ID
+		case typ == "IDREF":
+			a.Type = IDREF
+		case typ == "NMTOKEN":
+			a.Type = NMTOKEN
+		case strings.HasPrefix(typ, "("):
+			a.Type = Enumerated
+			inner := strings.TrimSuffix(strings.TrimPrefix(typ, "("), ")")
+			for _, v := range strings.Split(inner, "|") {
+				if v = strings.TrimSpace(v); v != "" {
+					a.Values = append(a.Values, v)
+				}
+			}
+			sort.Strings(a.Values)
+		default:
+			a.Type = CDATA // NMTOKENS, ENTITY, ... degrade to CDATA
+		}
+		use := rest[2]
+		rest = rest[3:]
+		switch use {
+		case "#REQUIRED":
+			a.Required = true
+		case "#IMPLIED":
+		case "#FIXED":
+			if len(rest) > 0 {
+				rest = rest[1:] // skip the fixed value
+			}
+		default:
+			// A bare default value: the attribute is optional.
+		}
+		d.DeclareAttribute(element, a)
+	}
+	return nil
+}
+
+// tokenizeAttlist splits an ATTLIST body into fields, keeping
+// parenthesized enumerations and quoted defaults as single tokens.
+func tokenizeAttlist(decl string) []string {
+	var out []string
+	i := 0
+	for i < len(decl) {
+		switch {
+		case decl[i] == ' ' || decl[i] == '\t' || decl[i] == '\n' || decl[i] == '\r':
+			i++
+		case decl[i] == '(':
+			j := strings.IndexByte(decl[i:], ')')
+			if j < 0 {
+				out = append(out, decl[i:])
+				return out
+			}
+			out = append(out, strings.Map(dropSpace, decl[i:i+j+1]))
+			i += j + 1
+		case decl[i] == '"' || decl[i] == '\'':
+			q := decl[i]
+			j := strings.IndexByte(decl[i+1:], q)
+			if j < 0 {
+				out = append(out, decl[i:])
+				return out
+			}
+			out = append(out, decl[i+1:i+1+j])
+			i += j + 2
+		default:
+			j := i
+			for j < len(decl) && !strings.ContainsRune(" \t\n\r", rune(decl[j])) {
+				j++
+			}
+			out = append(out, decl[i:j])
+			i = j
+		}
+	}
+	return out
+}
+
+func dropSpace(r rune) rune {
+	if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+		return -1
+	}
+	return r
+}

@@ -1,0 +1,191 @@
+package dtd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"dtdinfer/internal/automata"
+)
+
+// Validator checks XML documents against a DTD, compiling each content
+// model into a DFA once. Attribute declarations are enforced too: required
+// attributes, enumeration membership, and document-wide ID uniqueness.
+type Validator struct {
+	dtd  *DTD
+	dfas map[string]*automata.DFA
+}
+
+// NewValidator compiles the DTD's content models.
+func NewValidator(d *DTD) *Validator {
+	v := &Validator{dtd: d, dfas: map[string]*automata.DFA{}}
+	for name, e := range d.Elements {
+		if e.Type == Children {
+			v.dfas[name] = automata.FromExpr(e.Model)
+		}
+	}
+	return v
+}
+
+// Violation describes one validation failure.
+type Violation struct {
+	// Element is the offending element name.
+	Element string
+	// Line is the decoder's input offset (byte position) of the failure.
+	Offset int64
+	// Reason describes the failure.
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("element %s at offset %d: %s", v.Element, v.Offset, v.Reason)
+}
+
+// Validate parses one document and returns all violations (nil when the
+// document is valid). A document whose root differs from the DTD's root is
+// a violation; undeclared elements are violations on their parent.
+func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
+	dec := xml.NewDecoder(r)
+	type frame struct {
+		name     string
+		children []string
+		text     bool
+	}
+	var stack []frame
+	var out []Violation
+	seenIDs := map[string]bool{}
+	report := func(name, reason string) {
+		out = append(out, Violation{Element: name, Offset: dec.InputOffset(), Reason: reason})
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, fmt.Errorf("dtd: parsing XML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			name := t.Name.Local
+			if len(stack) == 0 && name != v.dtd.Root {
+				report(name, fmt.Sprintf("root is %s, DTD expects %s", name, v.dtd.Root))
+			}
+			if _, ok := v.dtd.Elements[name]; !ok {
+				report(name, "element not declared in DTD")
+			}
+			v.checkAttributes(name, t.Attr, seenIDs, report)
+			if len(stack) > 0 {
+				stack[len(stack)-1].children = append(stack[len(stack)-1].children, name)
+			}
+			stack = append(stack, frame{name: name})
+		case xml.EndElement:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			v.check(top.name, top.children, top.text, report)
+		case xml.CharData:
+			if len(stack) > 0 && strings.TrimSpace(string(t)) != "" {
+				stack[len(stack)-1].text = true
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return out, fmt.Errorf("dtd: unbalanced XML document")
+	}
+	return out, nil
+}
+
+func (v *Validator) check(name string, children []string, text bool, report func(name, reason string)) {
+	e := v.dtd.Elements[name]
+	if e == nil {
+		return // already reported at the start tag
+	}
+	switch e.Type {
+	case Any:
+	case Empty:
+		if len(children) > 0 || text {
+			report(name, "EMPTY element has content")
+		}
+	case PCData:
+		if len(children) > 0 {
+			report(name, fmt.Sprintf("(#PCDATA) element has child elements %v", children))
+		}
+	case Mixed:
+		allowed := map[string]bool{}
+		for _, n := range e.MixedNames {
+			allowed[n] = true
+		}
+		for _, c := range children {
+			if !allowed[c] {
+				report(name, fmt.Sprintf("child %s not allowed in mixed content", c))
+			}
+		}
+	case Children:
+		if text {
+			report(name, "character data not allowed in element content")
+		}
+		if !v.dfas[name].Member(children) {
+			report(name, fmt.Sprintf("children %v do not match (%s)",
+				children, e.Model.DTDString()))
+		}
+	}
+}
+
+// checkAttributes validates one start tag's attributes: undeclared names,
+// missing required attributes, enumeration membership, and ID uniqueness
+// within the document.
+func (v *Validator) checkAttributes(name string, attrs []xml.Attr,
+	seenIDs map[string]bool, report func(name, reason string)) {
+	e := v.dtd.Elements[name]
+	if e == nil {
+		return
+	}
+	declared := map[string]*Attribute{}
+	for _, a := range e.Attributes {
+		declared[a.Name] = a
+	}
+	present := map[string]bool{}
+	for _, attr := range attrs {
+		an := attr.Name.Local
+		if attr.Name.Space == "xmlns" || an == "xmlns" {
+			continue
+		}
+		present[an] = true
+		decl := declared[an]
+		if decl == nil {
+			report(name, fmt.Sprintf("attribute %s not declared", an))
+			continue
+		}
+		switch decl.Type {
+		case Enumerated:
+			ok := false
+			for _, val := range decl.Values {
+				if attr.Value == val {
+					ok = true
+				}
+			}
+			if !ok {
+				report(name, fmt.Sprintf("attribute %s value %q not in enumeration %v",
+					an, attr.Value, decl.Values))
+			}
+		case ID:
+			if seenIDs[attr.Value] {
+				report(name, fmt.Sprintf("duplicate ID %q", attr.Value))
+			}
+			seenIDs[attr.Value] = true
+		}
+	}
+	for _, a := range e.Attributes {
+		if a.Required && !present[a.Name] {
+			report(name, fmt.Sprintf("required attribute %s missing", a.Name))
+		}
+	}
+}
+
+// ValidDocument is a convenience wrapper reporting only whether the
+// document is valid.
+func (v *Validator) ValidDocument(doc string) bool {
+	vs, err := v.Validate(strings.NewReader(doc))
+	return err == nil && len(vs) == 0
+}

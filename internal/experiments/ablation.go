@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/datagen"
+	"dtdinfer/internal/idtd"
+	"dtdinfer/internal/ktest"
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/regextest"
+	"dtdinfer/internal/sampling"
+)
+
+// AblationResult collects the two design-choice studies DESIGN.md calls
+// out: the iDTD repair-candidate policy, and the window size k of the
+// k-testable substrate (why the paper's 2T-INF stops at k = 2).
+type AblationResult struct {
+	// PolicyRecovery maps each repair policy to its exact-recovery rate on
+	// sparse samples of random SOREs.
+	PolicyRecovery map[string]float64
+	// PolicyRuns is the number of inference runs per policy.
+	PolicyRuns int
+	// KTest maps window size k to the acceptance curve: for each sample
+	// size, the fraction of fresh target strings the inferred k-testable
+	// language accepts (generalization; k = 2 should dominate).
+	KTest      map[int][]float64
+	KTestSizes []int
+}
+
+// RunAblation executes both studies.
+func RunAblation(seed int64) AblationResult {
+	res := AblationResult{
+		PolicyRecovery: map[string]float64{},
+		KTest:          map[int][]float64{},
+	}
+
+	// Repair policy: exact recovery of random SOREs from 8 sparse samples.
+	policies := map[string]idtd.RepairPolicy{
+		"balanced":          idtd.PolicyBalanced,
+		"disjunction-first": idtd.PolicyDisjunctionFirst,
+		"optional-first":    idtd.PolicyOptionalFirst,
+	}
+	alpha := []string{"a", "b", "c", "d", "e"}
+	const runs = 300
+	for name, policy := range policies {
+		exact, counted := 0, 0
+		for i := 0; i < runs; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			target := regextest.RandomSORE(rng, alpha, 3)
+			var ws [][]string
+			nonEmpty := false
+			for j := 0; j < 8; j++ {
+				w := regextest.Sample(rng, target, 1, 2)
+				nonEmpty = nonEmpty || len(w) > 0
+				ws = append(ws, w)
+			}
+			if !nonEmpty {
+				continue
+			}
+			r, err := idtd.Infer(ws, &idtd.Options{Policy: policy})
+			if err != nil {
+				continue
+			}
+			counted++
+			if automata.ExprEquivalent(r.Expr, target) {
+				exact++
+			}
+		}
+		res.PolicyRecovery[name] = float64(exact) / float64(counted)
+		res.PolicyRuns = counted
+	}
+
+	// k-testable window: generalization of L_k on the (‡) target.
+	target := regex.MustParse(Figure4[2].Target)
+	s := datagen.NewSampler(seed)
+	base := datagen.RepresentativeSample(s, target, 1000)
+	probe := datagen.NewSampler(seed+1).SampleN(target, 400)
+	res.KTestSizes = []int{20, 40, 80, 160, 320, 640, 1000}
+	rng := rand.New(rand.NewSource(seed + 2))
+	covers := sampling.CoversAlphabet(target.Symbols())
+	for _, k := range []int{2, 3, 4} {
+		var curve []float64
+		for _, size := range res.KTestSizes {
+			sub := sampling.ReservoirEnsuring(rng, base, size, covers, 50)
+			l := ktest.Infer(k, sub)
+			hit := 0
+			for _, w := range probe {
+				if l.Member(w) {
+					hit++
+				}
+			}
+			curve = append(curve, float64(hit)/float64(len(probe)))
+		}
+		res.KTest[k] = curve
+	}
+	return res
+}
+
+// FormatAblation renders both studies.
+func FormatAblation(r AblationResult) string {
+	var b strings.Builder
+	b.WriteString(header("Ablations: iDTD repair policy and the k-testable window"))
+	fmt.Fprintf(&b, "\nrepair policy — exact recovery of random SOREs from 8 sparse strings (%d runs):\n", r.PolicyRuns)
+	for _, name := range []string{"balanced", "disjunction-first", "optional-first"} {
+		fmt.Fprintf(&b, "  %-18s %.3f\n", name, r.PolicyRecovery[name])
+	}
+	b.WriteString("\nk-testable window — fraction of fresh target strings accepted by L_k\n")
+	b.WriteString("inferred from a subsample of the given size (target: Figure 4's (‡)):\n")
+	fmt.Fprintf(&b, "%8s", "size")
+	for _, k := range []int{2, 3, 4} {
+		fmt.Fprintf(&b, "%9s", fmt.Sprintf("k=%d", k))
+	}
+	b.WriteString("\n")
+	for i, size := range r.KTestSizes {
+		fmt.Fprintf(&b, "%8d", size)
+		for _, k := range []int{2, 3, 4} {
+			fmt.Fprintf(&b, "%9.3f", r.KTest[k][i])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\nk = 2 generalizes fastest from small samples — and is the only window\n" +
+		"for which the inferred automaton is single occurrence and rewritable\n" +
+		"into a SORE, the paper's reason to build on 2T-INF.\n")
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/regex"
+)
+
+// Table 1: crx must reproduce the paper's result on every row, and iDTD on
+// every row except refinfo, whose 10-string sample makes the repair outcome
+// sample-dependent (see EXPERIMENTS.md); there iDTD must still be a SORE
+// superset of the corpus truth.
+func TestTable1ReproducesPaper(t *testing.T) {
+	results := RunTable1(1)
+	if len(results) != len(Table1) {
+		t.Fatalf("got %d rows", len(results))
+	}
+	for _, r := range results {
+		if r.CRX.Err != nil || r.IDTD.Err != nil {
+			t.Fatalf("%s: inference failed: %v %v", r.Row.Element, r.CRX.Err, r.IDTD.Err)
+		}
+		truth := regex.MustParse(r.Row.CorpusTruth)
+		switch r.Row.Element {
+		case "authors":
+			// Factor order between the two incomparable branches depends on
+			// which kind of string is seen first; check the language-level
+			// structure instead of factor order.
+			if !automata.ExprIncludes(r.CRX.Expr, truth) {
+				t.Errorf("authors: crx %s does not include the truth", r.CRX.Expr)
+			}
+			if !r.IDTDMatch.Syntax {
+				t.Errorf("authors: iDTD = %s, want %s", r.IDTD.Expr, r.Row.CorpusTruth)
+			}
+		case "refinfo":
+			if !r.CRXMatch.Syntax {
+				t.Errorf("refinfo: crx = %s, want %s", r.CRX.Expr, r.Row.CorpusTruth)
+			}
+			if !automata.ExprIncludes(r.IDTD.Expr, truth) {
+				t.Errorf("refinfo: iDTD %s does not include the truth", r.IDTD.Expr)
+			}
+		default:
+			if !r.CRXMatch.Syntax {
+				t.Errorf("%s: crx = %s, want %s", r.Row.Element, r.CRX.Expr, r.Row.CorpusTruth)
+			}
+			if !r.IDTDMatch.Syntax {
+				t.Errorf("%s: iDTD = %s, want %s", r.Row.Element, r.IDTD.Expr, r.Row.CorpusTruth)
+			}
+		}
+		// The xtract shortcoming: wherever the paper reports only a token
+		// count, our reconstruction must also be much larger than crx.
+		if r.Row.PaperXtractTokens > 0 && r.Xtract.Err == nil &&
+			r.Xtract.Tokens < 3*r.CRX.Tokens {
+			t.Errorf("%s: xtract %d tokens vs crx %d — blow-up missing",
+				r.Row.Element, r.Xtract.Tokens, r.CRX.Tokens)
+		}
+	}
+}
+
+// Table 2: crx and iDTD must match the paper's reported expressions
+// (syntactically up to commutativity of + for chain shapes; by language for
+// example5's iDTD result, whose equivalent spellings differ).
+func TestTable2ReproducesPaper(t *testing.T) {
+	results := RunTable2(1)
+	for _, r := range results {
+		if r.CRX.Err != nil || r.IDTD.Err != nil {
+			t.Fatalf("%s: inference failed: %v %v", r.Row.Element, r.CRX.Err, r.IDTD.Err)
+		}
+		if !r.CRXMatch.Syntax {
+			t.Errorf("%s: crx = %s, want %s", r.Row.Element, r.CRX.Expr, r.Row.PaperCRX)
+		}
+		if !r.IDTDMatch.Language {
+			t.Errorf("%s: iDTD = %s, not equivalent to paper's %s",
+				r.Row.Element, r.IDTD.Expr, r.Row.PaperIDTD)
+		}
+		// iDTD is at least as precise as crx on the SORE rows (1-3): its
+		// language is included in crx's.
+		if r.Row.Element == "example1" || r.Row.Element == "example2" || r.Row.Element == "example3" {
+			if !automata.ExprIncludes(r.CRX.Expr, r.IDTD.Expr) {
+				t.Errorf("%s: L(iDTD) ⊄ L(crx)", r.Row.Element)
+			}
+		}
+		// The xtract blow-up: larger than both on every row but example1.
+		if r.Row.PaperXtractTokens > 0 && r.Xtract.Err == nil &&
+			r.Xtract.Tokens < 2*r.CRX.Tokens {
+			t.Errorf("%s: xtract %d tokens vs crx %d", r.Row.Element, r.Xtract.Tokens, r.CRX.Tokens)
+		}
+	}
+}
+
+// Section 8.1: the Trang-like baseline produces the same result as crx on
+// the chain-shaped rows, and example1's top-level disjunction where crx
+// cannot.
+func TestTable2TrangBehaviour(t *testing.T) {
+	results := RunTable2(1)
+	for _, r := range results {
+		if r.Trang.Err != nil {
+			t.Fatalf("%s: trang failed: %v", r.Row.Element, r.Trang.Err)
+		}
+		switch r.Row.Element {
+		case "example1":
+			if !automata.ExprEquivalent(r.Trang.Expr, regex.MustParse(r.Row.Original)) {
+				t.Errorf("example1: trang = %s, want ≡ %s", r.Trang.Expr, r.Row.Original)
+			}
+		case "example2", "example5":
+			if !automata.ExprEquivalent(r.Trang.Expr, r.CRX.Expr) {
+				t.Errorf("%s: trang %s differs from crx %s", r.Row.Element, r.Trang.Expr, r.CRX.Expr)
+			}
+		}
+	}
+}
+
+// Figure 4 (reduced trials for test time): the qualitative shape must hold
+// on the (‡) panel — crx saturates before iDTD, which saturates before
+// rewrite; rewrite fails entirely at small sizes while iDTD succeeds.
+func TestFigure4Shape(t *testing.T) {
+	r := RunFigure4Panel(Figure4[2], &Figure4Config{Trials: 25, Steps: 8, Seed: 1})
+	crxC, idtdC, rwC := r.CriticalSize[core.CRX], r.CriticalSize[core.IDTD],
+		r.CriticalSize[core.RewriteOnly]
+	if crxC == 0 || idtdC == 0 {
+		t.Fatalf("crx/idtd never saturated: %d %d", crxC, idtdC)
+	}
+	if !(crxC < idtdC) {
+		t.Errorf("crx critical size %d should be below iDTD's %d", crxC, idtdC)
+	}
+	if rwC != 0 && rwC <= idtdC {
+		t.Errorf("rewrite critical size %d should exceed iDTD's %d", rwC, idtdC)
+	}
+	// At the smallest size, iDTD already succeeds sometimes while rewrite
+	// never does ("iDTD is able to infer riDTD in cases where rewrite alone
+	// fails").
+	first := r.Points[0]
+	if first.Fraction[core.RewriteOnly] > 0 {
+		t.Errorf("rewrite should fail at size %d", first.Size)
+	}
+	if first.Fraction[core.IDTD] == 0 && r.Points[1].Fraction[core.IDTD] == 0 {
+		t.Errorf("iDTD should start succeeding early")
+	}
+	// The generalization gap: crx needs 2-10x fewer strings than iDTD.
+	if idtdC < 2*crxC {
+		t.Errorf("generalization gap too small: crx=%d idtd=%d", crxC, idtdC)
+	}
+}
+
+func TestConcisenessContrast(t *testing.T) {
+	r := RunConciseness()
+	if got := r.Rewrite.String(); got != "((b? (a + c))+ d)+ e" {
+		t.Errorf("rewrite = %q", got)
+	}
+	if r.RewriteTokens != 12 {
+		t.Errorf("rewrite tokens = %d", r.RewriteTokens)
+	}
+	if r.StateElimTokens < 5*r.RewriteTokens {
+		t.Errorf("state elimination should blow up: %d vs %d tokens",
+			r.StateElimTokens, r.RewriteTokens)
+	}
+	if !automata.ExprEquivalent(r.StateElim, r.Rewrite) {
+		t.Error("the two translations must be language-equivalent")
+	}
+}
+
+func TestPerfRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf experiment in -short mode")
+	}
+	r := RunPerf(1)
+	if r.Example4IDTD <= 0 || r.Example4CRX <= 0 {
+		t.Fatal("timings missing")
+	}
+	out := FormatPerf(r)
+	if !strings.Contains(out, "example4") {
+		t.Errorf("format output broken: %s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	t1 := FormatTable1(RunTable1(1))
+	for _, want := range []string{"ProteinEntry", "refinfo", "crx", "iDTD", "xtract"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+	c := FormatConciseness(RunConciseness())
+	if !strings.Contains(c, "blow-up factor") {
+		t.Error("conciseness output broken")
+	}
+}
+
+func TestPanelSizesMonotoneAndBounded(t *testing.T) {
+	sizes := panelSizes(Figure4[0], 18, 20)
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("sizes not strictly increasing: %v", sizes)
+		}
+	}
+	if sizes[len(sizes)-1] != Figure4[0].MaxSize {
+		t.Errorf("last size = %d, want %d", sizes[len(sizes)-1], Figure4[0].MaxSize)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	r := RunAblation(1)
+	for _, name := range []string{"balanced", "disjunction-first", "optional-first"} {
+		rate, ok := r.PolicyRecovery[name]
+		if !ok || rate <= 0.2 || rate > 1 {
+			t.Errorf("policy %s recovery = %v", name, rate)
+		}
+	}
+	// The k-testable study must show k=2 dominating larger windows at
+	// every size, and reaching (near-)full coverage by the largest.
+	for i := range r.KTestSizes {
+		if r.KTest[2][i] < r.KTest[3][i] || r.KTest[3][i] < r.KTest[4][i] {
+			t.Errorf("generalization not monotone in k at size %d: %v %v %v",
+				r.KTestSizes[i], r.KTest[2][i], r.KTest[3][i], r.KTest[4][i])
+		}
+	}
+	last := len(r.KTestSizes) - 1
+	if r.KTest[2][last] < 0.99 {
+		t.Errorf("k=2 should cover the target at size %d, got %v",
+			r.KTestSizes[last], r.KTest[2][last])
+	}
+	out := FormatAblation(r)
+	if !strings.Contains(out, "repair policy") || !strings.Contains(out, "k-testable") {
+		t.Error("ablation formatting broken")
+	}
+}
+
+func TestFigure4CSV(t *testing.T) {
+	r := RunFigure4Panel(Figure4[2], &Figure4Config{Trials: 2, Steps: 3, Seed: 1})
+	out := FormatFigure4CSV([]PanelResult{r})
+	if !strings.Contains(out, "panel,size,algorithm,fraction") ||
+		!strings.Contains(out, "expr-ddagger") {
+		t.Errorf("CSV output broken:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	want := 1 + len(r.Points)*len(Figure4Algorithms)
+	if lines != want {
+		t.Errorf("CSV has %d lines, want %d", lines, want)
+	}
+}

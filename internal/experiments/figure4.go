@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/datagen"
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/sampling"
+)
+
+// Figure4Algorithms are the three curves of each panel.
+var Figure4Algorithms = []core.Algorithm{core.CRX, core.IDTD, core.RewriteOnly}
+
+// CurvePoint is one x-position of a Figure 4 panel: the fraction of trials
+// at which each algorithm recovered its target expression from a subsample
+// of the given size.
+type CurvePoint struct {
+	Size     int
+	Fraction map[core.Algorithm]float64
+}
+
+// PanelResult is one reproduced plot of Figure 4.
+type PanelResult struct {
+	Panel Figure4Panel
+	// Targets are the full-sample results per algorithm (rcrx for CRX;
+	// riDTD for both iDTD and rewrite, as in Section 8.2).
+	Targets map[core.Algorithm]*regex.Expr
+	Points  []CurvePoint
+	// CriticalSize is the smallest tested size at which every trial
+	// recovered the target (0 when never reached).
+	CriticalSize map[core.Algorithm]int
+}
+
+// Figure4Config tunes the reproduction cost. The paper uses 200 reservoir
+// subsamples per size.
+type Figure4Config struct {
+	// Trials per size; 0 means 200 (the paper's setting).
+	Trials int
+	// Steps is the number of subsample sizes per panel; 0 means 20.
+	Steps int
+	// Seed drives sample generation and subsampling.
+	Seed int64
+}
+
+func (c *Figure4Config) withDefaults() Figure4Config {
+	out := Figure4Config{Trials: 200, Steps: 20, Seed: 1}
+	if c != nil {
+		if c.Trials > 0 {
+			out.Trials = c.Trials
+		}
+		if c.Steps > 0 {
+			out.Steps = c.Steps
+		}
+		if c.Seed != 0 {
+			out.Seed = c.Seed
+		}
+	}
+	return out
+}
+
+// RunFigure4Panel reproduces one panel: draw a representative base sample
+// from the target, compute each algorithm's full-sample result, then for
+// each subsample size count how often the algorithm recovers that result
+// from reservoir subsamples (which are required to cover the alphabet, as
+// the paper's methodology specifies).
+func RunFigure4Panel(panel Figure4Panel, cfg *Figure4Config) PanelResult {
+	c := cfg.withDefaults()
+	target := regex.MustParse(panel.Target)
+	s := datagen.NewSampler(c.Seed)
+	base := datagen.RepresentativeSample(s, target, panel.BaseSample)
+	res := PanelResult{
+		Panel:        panel,
+		Targets:      map[core.Algorithm]*regex.Expr{},
+		CriticalSize: map[core.Algorithm]int{},
+	}
+	// Full-sample targets: rcrx for CRX; riDTD for iDTD and for rewrite
+	// (whose success is "deriving riDTD", per the Section 8.2 text).
+	for _, algo := range []core.Algorithm{core.CRX, core.IDTD} {
+		r := runAlgo(base, algo, nil)
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiments: %s failed on full %s sample: %v",
+				algo, panel.Name, r.Err))
+		}
+		res.Targets[algo] = r.Expr
+	}
+	res.Targets[core.RewriteOnly] = res.Targets[core.IDTD]
+
+	alphabet := target.Symbols()
+	covers := sampling.CoversAlphabet(alphabet)
+	rng := rand.New(rand.NewSource(c.Seed + 7))
+	sizes := panelSizes(panel, len(alphabet), c.Steps)
+	for _, size := range sizes {
+		point := CurvePoint{Size: size, Fraction: map[core.Algorithm]float64{}}
+		hits := map[core.Algorithm]int{}
+		for t := 0; t < c.Trials; t++ {
+			sub := sampling.ReservoirEnsuring(rng, base, size, covers, 50)
+			for _, algo := range Figure4Algorithms {
+				r := runAlgo(sub, algo, nil)
+				if r.Err == nil && regex.EqualModuloUnionOrder(r.Expr, res.Targets[algo]) {
+					hits[algo]++
+				}
+			}
+		}
+		for _, algo := range Figure4Algorithms {
+			point.Fraction[algo] = float64(hits[algo]) / float64(c.Trials)
+			if point.Fraction[algo] == 1 && res.CriticalSize[algo] == 0 {
+				res.CriticalSize[algo] = size
+			}
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res
+}
+
+// panelSizes spreads sizes geometrically from just above the alphabet size
+// to MaxSize, so the low end — where CRX and iDTD separate — is resolved.
+func panelSizes(panel Figure4Panel, alphabet, steps int) []int {
+	min := alphabet + 2
+	if min < 5 {
+		min = 5
+	}
+	ratio := float64(panel.MaxSize) / float64(min)
+	var sizes []int
+	for i := 0; i <= steps; i++ {
+		s := int(float64(min) * math.Pow(ratio, float64(i)/float64(steps)))
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	// Deduplicate.
+	out := sizes[:0]
+	for i, s := range sizes {
+		if i == 0 || s != sizes[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunFigure4 reproduces all three panels.
+func RunFigure4(cfg *Figure4Config) []PanelResult {
+	var out []PanelResult
+	for _, p := range Figure4 {
+		out = append(out, RunFigure4Panel(p, cfg))
+	}
+	return out
+}
+
+// FormatFigure4 renders the curves as aligned columns (one block per
+// panel), mirroring the three plots of Figure 4.
+func FormatFigure4(results []PanelResult) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 4: fraction of subsamples recovering the target vs sample size"))
+	for _, r := range results {
+		fmt.Fprintf(&b, "\npanel %s (target %s)\n", r.Panel.Name, shorten(r.Panel.Target))
+		fmt.Fprintf(&b, "%8s %8s %8s %8s\n", "size", "crx", "idtd", "rewrite")
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, "%8d %8.3f %8.3f %8.3f\n", p.Size,
+				p.Fraction[core.CRX], p.Fraction[core.IDTD], p.Fraction[core.RewriteOnly])
+		}
+		fmt.Fprintf(&b, "critical sizes: crx=%s idtd=%s rewrite=%s\n",
+			critStr(r.CriticalSize[core.CRX]), critStr(r.CriticalSize[core.IDTD]),
+			critStr(r.CriticalSize[core.RewriteOnly]))
+	}
+	return b.String()
+}
+
+func critStr(c int) string {
+	if c == 0 {
+		return "not reached"
+	}
+	return fmt.Sprintf("%d", c)
+}
+
+// FormatFigure4CSV renders the curves as CSV (panel,size,algorithm,
+// fraction), ready for external plotting.
+func FormatFigure4CSV(results []PanelResult) string {
+	var b strings.Builder
+	b.WriteString("panel,size,algorithm,fraction\n")
+	for _, r := range results {
+		for _, p := range r.Points {
+			for _, algo := range Figure4Algorithms {
+				fmt.Fprintf(&b, "%s,%d,%s,%.4f\n", r.Panel.Name, p.Size, algo, p.Fraction[algo])
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/datagen"
+	"dtdinfer/internal/regex"
+)
+
+// AlgoResult is the outcome of one algorithm on one sample.
+type AlgoResult struct {
+	// Expr is the inferred expression (nil on error).
+	Expr *regex.Expr
+	// Tokens is the size of Expr (0 on error).
+	Tokens int
+	// Err is the inference error, e.g. xtract's string cap.
+	Err error
+	// Duration is the wall-clock inference time.
+	Duration time.Duration
+}
+
+func runAlgo(sample [][]string, algo core.Algorithm, opts *core.Options) AlgoResult {
+	start := time.Now()
+	e, err := core.InferExpr(sample, algo, opts)
+	res := AlgoResult{Expr: e, Err: err, Duration: time.Since(start)}
+	if e != nil {
+		res.Tokens = e.Tokens()
+	}
+	return res
+}
+
+// Render prints the expression or the error.
+func (r AlgoResult) Render() string {
+	if r.Err != nil {
+		return "FAILED: " + r.Err.Error()
+	}
+	if r.Tokens > 40 {
+		return fmt.Sprintf("an expression of %d tokens", r.Tokens)
+	}
+	return r.Expr.String()
+}
+
+// sampleFor generates the experiment sample for a target expression: a
+// representative sample (edge cover plus random padding) when the size
+// allows, otherwise purely random draws — matching the paper's setup where
+// large generated samples were made representative while the small
+// real-world samples were whatever the corpus contained.
+func sampleFor(target *regex.Expr, size int, seed int64) [][]string {
+	s := datagen.NewSampler(seed)
+	if cover := datagen.EdgeCoverSample(target); len(cover) <= size {
+		return datagen.RepresentativeSample(s, target, size)
+	}
+	return s.SampleN(target, size)
+}
+
+// matches compares an inference result against an expected expression both
+// syntactically (up to commutativity of +) and by language.
+type matches struct {
+	Syntax   bool
+	Language bool
+}
+
+func compare(result AlgoResult, expected *regex.Expr) matches {
+	if result.Err != nil || result.Expr == nil {
+		return matches{}
+	}
+	return matches{
+		Syntax:   regex.EqualModuloUnionOrder(result.Expr, expected),
+		Language: automata.ExprEquivalent(result.Expr, expected),
+	}
+}
+
+func header(title string) string {
+	line := strings.Repeat("=", len(title))
+	return line + "\n" + title + "\n" + line + "\n"
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/xtract"
+)
+
+// Table1Result is the reproduction of one Table 1 row.
+type Table1Result struct {
+	Row  Table1Row
+	CRX  AlgoResult
+	IDTD AlgoResult
+	// Xtract runs on the (possibly smaller) XtractSize sample.
+	Xtract AlgoResult
+	// CRXMatch / IDTDMatch compare against the corpus-truth expression the
+	// paper reports as the crx/iDTD result.
+	CRXMatch  matches
+	IDTDMatch matches
+}
+
+// RunTable1 reproduces Table 1: for every element definition, a sample of
+// the paper's size is generated from the corpus-truth expression and all
+// three systems infer a content model from it.
+func RunTable1(seed int64) []Table1Result {
+	var out []Table1Result
+	for i, row := range Table1 {
+		truth := regex.MustParse(row.CorpusTruth)
+		sample := sampleFor(truth, row.SampleSize, seed+int64(i))
+		res := Table1Result{Row: row}
+		res.CRX = runAlgo(sample, core.CRX, nil)
+		res.IDTD = runAlgo(sample, core.IDTD, nil)
+		xs := sample
+		if row.XtractSize < len(sample) {
+			xs = sample[:row.XtractSize]
+		}
+		res.Xtract = runAlgo(xs, core.XTRACT, &core.Options{
+			XTRACT: xtract.Options{MaxStrings: 1000},
+		})
+		crxTruth := truth
+		if row.PaperCRX != "" {
+			crxTruth = regex.MustParse(row.PaperCRX)
+		}
+		res.CRXMatch = compare(res.CRX, crxTruth)
+		res.IDTDMatch = compare(res.IDTD, truth)
+		out = append(out, res)
+	}
+	return out
+}
+
+// FormatTable1 renders the reproduction next to the paper's numbers.
+func FormatTable1(results []Table1Result) string {
+	var b strings.Builder
+	b.WriteString(header("Table 1: real-world element definitions (Protein SDB + Mondial)"))
+	for _, r := range results {
+		fmt.Fprintf(&b, "\n%s (sample %d", r.Row.Element, r.Row.SampleSize)
+		if r.Row.XtractSize != r.Row.SampleSize {
+			fmt.Fprintf(&b, ", xtract %d", r.Row.XtractSize)
+		}
+		b.WriteString(")\n")
+		fmt.Fprintf(&b, "  original DTD : %s\n", r.Row.Original)
+		fmt.Fprintf(&b, "  paper result : %s\n", r.Row.CorpusTruth)
+		if r.Row.PaperCRX != "" {
+			fmt.Fprintf(&b, "  paper crx    : %s\n", r.Row.PaperCRX)
+		}
+		fmt.Fprintf(&b, "  crx          : %s%s\n", r.CRX.Render(), mark(r.CRXMatch))
+		fmt.Fprintf(&b, "  iDTD         : %s%s\n", r.IDTD.Render(), mark(r.IDTDMatch))
+		fmt.Fprintf(&b, "  xtract       : %s", r.Xtract.Render())
+		if r.Row.PaperXtractTokens > 0 {
+			fmt.Fprintf(&b, "   (paper: %d tokens)", r.Row.PaperXtractTokens)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func mark(m matches) string {
+	switch {
+	case m.Syntax:
+		return "   [= paper]"
+	case m.Language:
+		return "   [≡ paper]"
+	default:
+		return ""
+	}
+}

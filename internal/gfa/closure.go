@@ -1,0 +1,87 @@
+package gfa
+
+import "dtdinfer/internal/regex"
+
+// Closure is the ε-closure G* of a GFA: its edge set E* contains (i) a self
+// edge (r, r) for every node whose label is repeatable (r+ or r*, i.e. the
+// paper's s+ and (s+)? forms), and (ii) an edge (r, r') whenever there is a
+// path from r to r' in G passing only through intermediate nodes with
+// nullable labels. E ⊆ E* since a single edge is such a path with no
+// intermediates.
+type Closure struct {
+	// Succ and Pred are the successor and predecessor sets in G*.
+	Succ, Pred map[int]map[int]bool
+}
+
+func nullableLabel(l *regex.Expr) bool { return l != nil && l.Nullable() }
+
+func repeatableLabel(l *regex.Expr) bool {
+	return l != nil && (l.Op == regex.OpPlus || l.Op == regex.OpStar)
+}
+
+// Closure computes the ε-closure of the GFA.
+func (g *GFA) Closure() *Closure {
+	c := &Closure{
+		Succ: map[int]map[int]bool{},
+		Pred: map[int]map[int]bool{},
+	}
+	ids := append([]int{SourceID, SinkID}, g.Nodes()...)
+	for _, id := range ids {
+		c.Succ[id] = map[int]bool{}
+		c.Pred[id] = map[int]bool{}
+	}
+	add := func(u, v int) {
+		c.Succ[u][v] = true
+		c.Pred[v][u] = true
+	}
+	for _, u := range ids {
+		if repeatableLabel(g.labels[u]) {
+			add(u, u)
+		}
+		// BFS from u: an edge (u, v) is in E* when v is reachable through
+		// nullable intermediates only.
+		seen := map[int]bool{}
+		queue := sortedIDs(g.succ[u])
+		for _, v := range queue {
+			seen[v] = true
+		}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			add(u, v)
+			if !nullableLabel(g.labels[v]) {
+				continue
+			}
+			for _, w := range g.Successors(v) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// SetEqual reports whether two closure sets are identical.
+func SetEqual(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of a is in b.
+func SubsetOf(a, b map[int]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

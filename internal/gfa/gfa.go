@@ -1,0 +1,285 @@
+// Package gfa implements generalized finite automata (automata whose states
+// are labeled with regular expressions) and the rewrite algorithm of
+// Section 5 of the paper, which transforms a single occurrence automaton
+// into an equivalent SORE when one exists — in polynomial time and with an
+// output of linear size, in contrast to classical state elimination.
+//
+// A GFA node labeled r means: every incoming edge reads a string of L(r).
+// The rewrite system has four rules, one per operator:
+//
+//	disjunction    merge states with equal predecessor and successor sets
+//	concatenation  merge a maximal chain of states
+//	self-loop      delete a self edge, relabel r to r+
+//	optional       relabel r to r?, delete the bypass edges it subsumes
+//
+// Predecessor and successor sets are computed on the ε-closure G*, which
+// adds self edges for repeatable labels (r+, r*) and shortcut edges along
+// paths through nullable intermediate states.
+package gfa
+
+import (
+	"fmt"
+	"sort"
+
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/soa"
+)
+
+// SourceID and SinkID are the node ids of the virtual initial and final
+// states of every GFA.
+const (
+	SourceID = 0
+	SinkID   = 1
+)
+
+// GFA is a single occurrence generalized finite automaton. Nodes carry
+// SORE labels; edges are unlabeled. Edge supports (inherited from the SOA
+// sample counts) back the noise-handling variant of iDTD.
+type GFA struct {
+	labels  map[int]*regex.Expr
+	succ    map[int]map[int]bool
+	pred    map[int]map[int]bool
+	support map[[2]int]int
+	next    int
+	// trace records rule applications when enabled via EnableTrace.
+	trace   []string
+	tracing bool
+}
+
+// EnableTrace makes subsequent rule applications append a human-readable
+// step description, retrievable with Trace — the tool behind reproducing
+// the paper's Figure 3 derivation step by step.
+func (g *GFA) EnableTrace() { g.tracing = true }
+
+// Trace returns the recorded rule applications in order.
+func (g *GFA) Trace() []string { return append([]string{}, g.trace...) }
+
+func (g *GFA) tracef(format string, args ...interface{}) {
+	if g.tracing {
+		g.trace = append(g.trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// New returns a GFA containing only the virtual source and sink.
+func New() *GFA {
+	g := &GFA{
+		labels:  map[int]*regex.Expr{},
+		succ:    map[int]map[int]bool{SourceID: {}, SinkID: {}},
+		pred:    map[int]map[int]bool{SourceID: {}, SinkID: {}},
+		support: map[[2]int]int{},
+		next:    2,
+	}
+	return g
+}
+
+// FromSOA converts a single occurrence automaton into the corresponding GFA
+// with one state per element name, carrying over edge supports. When the SOA
+// accepts the empty string, a direct source→sink edge represents it; the
+// optional rule later consumes that edge as a bypass, so nullable SOREs such
+// as (a b)? are recovered exactly.
+func FromSOA(a *soa.SOA) *GFA {
+	g := New()
+	ids := map[string]int{soa.Source: SourceID, soa.Sink: SinkID}
+	for _, s := range a.Symbols() {
+		ids[s] = g.AddNode(regex.Sym(s))
+	}
+	for _, e := range a.Edges() {
+		g.AddEdge(ids[e[0]], ids[e[1]])
+		g.support[[2]int{ids[e[0]], ids[e[1]]}] = a.EdgeSupport(e[0], e[1])
+	}
+	if a.AcceptsEmpty() {
+		g.AddEdge(SourceID, SinkID)
+	}
+	return g
+}
+
+// AddNode inserts a fresh node with the given label and returns its id.
+func (g *GFA) AddNode(label *regex.Expr) int {
+	id := g.next
+	g.next++
+	g.labels[id] = label
+	g.succ[id] = map[int]bool{}
+	g.pred[id] = map[int]bool{}
+	return id
+}
+
+// RemoveNode deletes a node and all incident edges.
+func (g *GFA) RemoveNode(id int) {
+	for t := range g.succ[id] {
+		delete(g.pred[t], id)
+		delete(g.support, [2]int{id, t})
+	}
+	for f := range g.pred[id] {
+		delete(g.succ[f], id)
+		delete(g.support, [2]int{f, id})
+	}
+	delete(g.labels, id)
+	delete(g.succ, id)
+	delete(g.pred, id)
+}
+
+// AddEdge inserts the edge (from, to).
+func (g *GFA) AddEdge(from, to int) {
+	g.succ[from][to] = true
+	g.pred[to][from] = true
+}
+
+// AddEdgeSupport inserts the edge and records a support count, accumulating
+// when the edge already exists.
+func (g *GFA) AddEdgeSupport(from, to, support int) {
+	g.AddEdge(from, to)
+	g.support[[2]int{from, to}] += support
+}
+
+// RemoveEdge deletes the edge (from, to).
+func (g *GFA) RemoveEdge(from, to int) {
+	delete(g.succ[from], to)
+	delete(g.pred[to], from)
+	delete(g.support, [2]int{from, to})
+}
+
+// HasEdge reports whether (from, to) is an edge.
+func (g *GFA) HasEdge(from, to int) bool { return g.succ[from][to] }
+
+// EdgeSupport returns the recorded support of an edge (zero when untracked).
+func (g *GFA) EdgeSupport(from, to int) int { return g.support[[2]int{from, to}] }
+
+// Label returns the label of a node (nil for source and sink).
+func (g *GFA) Label(id int) *regex.Expr { return g.labels[id] }
+
+// Nodes returns the ids of all labeled nodes in ascending order.
+func (g *GFA) Nodes() []int {
+	out := make([]int, 0, len(g.labels))
+	for id := range g.labels {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumNodes returns the number of labeled nodes.
+func (g *GFA) NumNodes() int { return len(g.labels) }
+
+// Successors returns the successor ids of a node in ascending order.
+func (g *GFA) Successors(id int) []int { return sortedIDs(g.succ[id]) }
+
+// Predecessors returns the predecessor ids of a node in ascending order.
+func (g *GFA) Predecessors(id int) []int { return sortedIDs(g.pred[id]) }
+
+func sortedIDs(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OutDegree and InDegree count real edges.
+func (g *GFA) OutDegree(id int) int { return len(g.succ[id]) }
+
+// InDegree counts real incoming edges.
+func (g *GFA) InDegree(id int) int { return len(g.pred[id]) }
+
+// IsFinal reports whether the GFA consists of a single labeled node r with
+// exactly the edges source→r and r→sink, at which point the label is the
+// resulting regular expression.
+func (g *GFA) IsFinal() bool {
+	if len(g.labels) != 1 {
+		return false
+	}
+	var id int
+	for n := range g.labels {
+		id = n
+	}
+	return len(g.succ[SourceID]) == 1 && g.succ[SourceID][id] &&
+		len(g.pred[SinkID]) == 1 && g.pred[SinkID][id] &&
+		len(g.succ[id]) == 1 && g.succ[id][SinkID] &&
+		len(g.pred[id]) == 1 && g.pred[id][SourceID]
+}
+
+// FinalExpr returns the label of the unique node of a final GFA.
+// It panics when the GFA is not final.
+func (g *GFA) FinalExpr() *regex.Expr {
+	if !g.IsFinal() {
+		panic("gfa: FinalExpr on non-final GFA")
+	}
+	for _, l := range g.labels {
+		return l
+	}
+	panic("unreachable")
+}
+
+// Clone returns a deep copy of the GFA.
+func (g *GFA) Clone() *GFA {
+	c := &GFA{
+		labels:  make(map[int]*regex.Expr, len(g.labels)),
+		succ:    make(map[int]map[int]bool, len(g.succ)),
+		pred:    make(map[int]map[int]bool, len(g.pred)),
+		support: make(map[[2]int]int, len(g.support)),
+		next:    g.next,
+	}
+	for id, l := range g.labels {
+		c.labels[id] = l
+	}
+	for id, m := range g.succ {
+		cm := make(map[int]bool, len(m))
+		for t := range m {
+			cm[t] = true
+		}
+		c.succ[id] = cm
+	}
+	for id, m := range g.pred {
+		cm := make(map[int]bool, len(m))
+		for t := range m {
+			cm[t] = true
+		}
+		c.pred[id] = cm
+	}
+	for e, s := range g.support {
+		c.support[e] = s
+	}
+	return c
+}
+
+// String renders the GFA for debugging: one line per node with its label
+// and successors.
+func (g *GFA) String() string {
+	out := "GFA{\n"
+	name := func(id int) string {
+		switch id {
+		case SourceID:
+			return "⊢"
+		case SinkID:
+			return "⊣"
+		}
+		return g.labels[id].String()
+	}
+	ids := append([]int{SourceID}, g.Nodes()...)
+	for _, id := range ids {
+		succs := g.Successors(id)
+		parts := make([]string, len(succs))
+		for i, t := range succs {
+			parts[i] = name(t)
+		}
+		out += fmt.Sprintf("  %s -> %v\n", name(id), parts)
+	}
+	return out + "}"
+}
+
+// Edges returns all edges in deterministic order.
+func (g *GFA) Edges() [][2]int {
+	var out [][2]int
+	for f, m := range g.succ {
+		for t := range m {
+			out = append(out, [2]int{f, t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,243 @@
+package idtd
+
+import (
+	"dtdinfer/internal/gfa"
+)
+
+// repairOnce applies one repair rule at fuzziness k. Mutually
+// interconnected disjunction candidates (precondition (b)) — the signature
+// of symbols from one repeated disjunction, as in the paper's Figure 2 —
+// are repaired first. Otherwise the cheapest plan wins between similarity
+// disjunctions (precondition (a)) and enable-optional, preferring optional
+// on ties: making a state skippable preserves the order information that a
+// merge would destroy, which reproduces the paper's example4 result
+// (a6+...+a61)* a5* rather than folding a5 into the disjunction.
+func repairOnce(g *gfa.GFA, k int, policy RepairPolicy) bool {
+	cl := g.Closure()
+	if plan := bestDisjunctionRepair(g, cl, k, true); plan != nil {
+		plan.apply(g)
+		return true
+	}
+	dis := bestDisjunctionRepair(g, cl, k, false)
+	opt := bestOptionalRepair(g, cl, k)
+	var chosen *repairPlan
+	switch {
+	case dis == nil && opt == nil:
+		return false
+	case dis == nil:
+		chosen = opt
+	case opt == nil:
+		chosen = dis
+	default:
+		switch policy {
+		case PolicyDisjunctionFirst:
+			chosen = dis
+		case PolicyOptionalFirst:
+			chosen = opt
+		default: // PolicyBalanced
+			if dis.cost() < opt.cost() {
+				chosen = dis
+			} else {
+				chosen = opt
+			}
+		}
+	}
+	chosen.apply(g)
+	return true
+}
+
+// repairPlan is a set of edges to add.
+type repairPlan struct {
+	adds [][2]int
+}
+
+func (p *repairPlan) cost() int { return len(p.adds) }
+
+func (p *repairPlan) apply(g *gfa.GFA) {
+	for _, e := range p.adds {
+		g.AddEdgeSupport(e[0], e[1], 0)
+	}
+}
+
+// bestDisjunctionRepair implements enable-disjunction restricted to pairs
+// (the paper's implementation choice): find states u, v whose predecessor
+// and successor sets are close (precondition (a): non-empty intersection
+// and symmetric differences of size at most k) or mutually interconnected
+// (precondition (b): each is a predecessor and successor of the other), and
+// plan the minimal edge set making Pred(u) = Pred(v) and Succ(u) = Succ(v),
+// after which the disjunction rewrite rule applies. With interconnected
+// true only precondition-(b) pairs are considered, with false only
+// (a)-pairs. Returns nil when no candidate needs any edges.
+func bestDisjunctionRepair(g *gfa.GFA, cl *gfa.Closure, k int, interconnected bool) *repairPlan {
+	nodes := g.Nodes()
+	var best *repairPlan
+	for i, u := range nodes {
+		for _, v := range nodes[i+1:] {
+			condB := cl.Pred[u][v] && cl.Succ[u][v] && cl.Pred[v][u] && cl.Succ[v][u]
+			if condB != interconnected {
+				continue
+			}
+			if !condB {
+				pu, pv := without(cl.Pred[u], u, v), without(cl.Pred[v], u, v)
+				su, sv := without(cl.Succ[u], u, v), without(cl.Succ[v], u, v)
+				condA := intersects(pu, pv) && intersects(su, sv) &&
+					diffCount(pu, pv) <= k && diffCount(pv, pu) <= k &&
+					diffCount(su, sv) <= k && diffCount(sv, su) <= k
+				if !condA {
+					continue
+				}
+			}
+			plan := disjunctionPlan(g, cl, u, v)
+			if plan.cost() == 0 {
+				// Already mergeable; saturation will handle it.
+				continue
+			}
+			if best == nil || plan.cost() < best.cost() {
+				best = plan
+			}
+		}
+	}
+	return best
+}
+
+// disjunctionPlan computes the minimal edge additions equalizing the
+// external predecessor/successor sets of u and v, plus full internal
+// interconnection (self loops included) when any edge already runs between
+// them — the disjunction rule's case (ii).
+func disjunctionPlan(g *gfa.GFA, cl *gfa.Closure, u, v int) *repairPlan {
+	plan := &repairPlan{}
+	addIfMissing := func(from, to int) {
+		if !g.HasEdge(from, to) {
+			plan.adds = append(plan.adds, [2]int{from, to})
+		}
+	}
+	for _, w := range []int{u, v} {
+		other := u
+		if w == u {
+			other = v
+		}
+		for p := range cl.Pred[other] {
+			if p != u && p != v && !cl.Pred[w][p] {
+				addIfMissing(p, w)
+			}
+		}
+		for s := range cl.Succ[other] {
+			if s != u && s != v && !cl.Succ[w][s] {
+				addIfMissing(w, s)
+			}
+		}
+	}
+	internal := cl.Succ[u][u] || cl.Succ[u][v] || cl.Succ[v][u] || cl.Succ[v][v] ||
+		g.HasEdge(u, u) || g.HasEdge(u, v) || g.HasEdge(v, u) || g.HasEdge(v, v)
+	if internal {
+		for _, x := range []int{u, v} {
+			for _, y := range []int{u, v} {
+				if !cl.Succ[x][y] {
+					addIfMissing(x, y)
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// bestOptionalRepair implements enable-optional: pick a state r with
+// (a) at least one existing edge from a predecessor of r to a successor of
+// r, or (b) a single predecessor r' with |Succ(r') \ {r, r'}| <= k, and
+// plan all missing bypass edges Pred(r) × Succ(r), enabling the optional
+// rewrite rule on r.
+func bestOptionalRepair(g *gfa.GFA, cl *gfa.Closure, k int) *repairPlan {
+	var best *repairPlan
+	for _, r := range g.Nodes() {
+		label := g.Label(r)
+		if label != nil && label.Nullable() {
+			continue // optional would make no progress on r
+		}
+		preds := without(cl.Pred[r], r, r)
+		succs := without(cl.Succ[r], r, r)
+		if len(preds) == 0 || len(succs) == 0 {
+			continue
+		}
+		if preds[gfa.SourceID] && succs[gfa.SinkID] && !g.HasEdge(gfa.SourceID, gfa.SinkID) {
+			// The bypass source→sink would add ε to the language, which no
+			// expression can denote; optional cannot be enabled for r.
+			continue
+		}
+		condA := false
+		for p := range preds {
+			for s := range succs {
+				if g.HasEdge(p, s) {
+					condA = true
+					break
+				}
+			}
+			if condA {
+				break
+			}
+		}
+		condB := false
+		if len(preds) == 1 {
+			var rp int
+			for p := range preds {
+				rp = p
+			}
+			extra := 0
+			for s := range cl.Succ[rp] {
+				if s != r && s != rp {
+					extra++
+				}
+			}
+			condB = extra <= k
+		}
+		if !condA && !condB {
+			continue
+		}
+		plan := &repairPlan{}
+		for p := range preds {
+			for s := range succs {
+				if p == gfa.SourceID && s == gfa.SinkID {
+					continue
+				}
+				if !g.HasEdge(p, s) {
+					plan.adds = append(plan.adds, [2]int{p, s})
+				}
+			}
+		}
+		if plan.cost() == 0 {
+			continue
+		}
+		if best == nil || plan.cost() < best.cost() {
+			best = plan
+		}
+	}
+	return best
+}
+
+func without(set map[int]bool, u, v int) map[int]bool {
+	out := make(map[int]bool, len(set))
+	for x := range set {
+		if x != u && x != v {
+			out[x] = true
+		}
+	}
+	return out
+}
+
+func intersects(a, b map[int]bool) bool {
+	for x := range a {
+		if b[x] {
+			return true
+		}
+	}
+	return false
+}
+
+func diffCount(a, b map[int]bool) int {
+	n := 0
+	for x := range a {
+		if !b[x] {
+			n++
+		}
+	}
+	return n
+}

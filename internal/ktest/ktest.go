@@ -1,0 +1,115 @@
+// Package ktest generalizes the Section 4 substrate from 2-testable to
+// k-testable languages: the inference algorithm of Garcia and Vidal that
+// 2T-INF instantiates works for any window size k, learning the smallest
+// language over which membership is decided by the (k-1)-length prefix,
+// the (k-1)-length suffix, and the set of k-grams. Larger k trades
+// generalization for precision — the quantitative version of the paper's
+// reason to stop at k = 2, where the inferred automaton is single
+// occurrence and rewritable into a SORE; the tests demonstrate the
+// monotone hierarchy L_{k+1} ⊆ L_k and the agreement of k = 2 with the
+// SOA of internal/soa.
+package ktest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Language is an inferred k-testable language.
+type Language struct {
+	// K is the window size (k >= 2).
+	K int
+
+	prefixes map[string]bool // observed prefixes of length k-1
+	suffixes map[string]bool // observed suffixes of length k-1
+	grams    map[string]bool // observed k-grams
+	shorts   map[string]bool // observed strings shorter than k-1, verbatim
+	total    int
+}
+
+const sep = "\x00"
+
+func key(w []string) string { return strings.Join(w, sep) }
+
+// New returns an empty k-testable language (accepting nothing).
+func New(k int) *Language {
+	if k < 2 {
+		panic(fmt.Sprintf("ktest: k must be at least 2, got %d", k))
+	}
+	return &Language{
+		K:        k,
+		prefixes: map[string]bool{},
+		suffixes: map[string]bool{},
+		grams:    map[string]bool{},
+		shorts:   map[string]bool{},
+	}
+}
+
+// Infer learns the smallest k-testable language containing the sample.
+func Infer(k int, sample [][]string) *Language {
+	l := New(k)
+	for _, w := range sample {
+		l.AddString(w)
+	}
+	return l
+}
+
+// AddString extends the language with one sample string.
+func (l *Language) AddString(w []string) {
+	l.total++
+	m := l.K - 1
+	if len(w) < m {
+		l.shorts[key(w)] = true
+		return
+	}
+	l.prefixes[key(w[:m])] = true
+	l.suffixes[key(w[len(w)-m:])] = true
+	for i := 0; i+l.K <= len(w); i++ {
+		l.grams[key(w[i:i+l.K])] = true
+	}
+}
+
+// Member reports whether w belongs to the language.
+func (l *Language) Member(w []string) bool {
+	m := l.K - 1
+	if len(w) < m {
+		return l.shorts[key(w)]
+	}
+	if !l.prefixes[key(w[:m])] || !l.suffixes[key(w[len(w)-m:])] {
+		return false
+	}
+	for i := 0; i+l.K <= len(w); i++ {
+		if !l.grams[key(w[i:i+l.K])] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds another language of the same k into l (incremental
+// inference).
+func (l *Language) Merge(o *Language) {
+	if l.K != o.K {
+		panic("ktest: merging languages of different k")
+	}
+	for _, pair := range []struct{ dst, src map[string]bool }{
+		{l.prefixes, o.prefixes},
+		{l.suffixes, o.suffixes},
+		{l.grams, o.grams},
+		{l.shorts, o.shorts},
+	} {
+		for g := range pair.src {
+			pair.dst[g] = true
+		}
+	}
+	l.total += o.total
+}
+
+// Total returns the number of strings consumed.
+func (l *Language) Total() int { return l.total }
+
+// Size returns the number of stored facts (prefixes, suffixes, k-grams,
+// short strings) — the summary footprint, O(|sample alphabet|^k) at worst.
+func (l *Language) Size() int {
+	return len(l.prefixes) + len(l.suffixes) + len(l.grams) + len(l.shorts)
+}

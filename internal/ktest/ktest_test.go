@@ -1,0 +1,155 @@
+package ktest
+
+import (
+	"math/rand"
+	"testing"
+
+	"dtdinfer/internal/soa"
+)
+
+func split(ws ...string) [][]string {
+	out := make([][]string, len(ws))
+	for i, w := range ws {
+		for _, r := range w {
+			out[i] = append(out[i], string(r))
+		}
+	}
+	return out
+}
+
+func randomSample(rng *rand.Rand, alpha []string, n, maxLen int) [][]string {
+	out := make([][]string, n)
+	for i := range out {
+		w := make([]string, rng.Intn(maxLen+1))
+		for j := range w {
+			w[j] = alpha[rng.Intn(len(alpha))]
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func TestContainsSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alpha := []string{"a", "b", "c"}
+	for k := 2; k <= 5; k++ {
+		for i := 0; i < 50; i++ {
+			sample := randomSample(rng, alpha, 8, 10)
+			l := Infer(k, sample)
+			for _, w := range sample {
+				if !l.Member(w) {
+					t.Fatalf("k=%d: sample string %v rejected", k, w)
+				}
+			}
+		}
+	}
+}
+
+// The k-testable hierarchy: on the same sample, larger k infers a smaller
+// (more precise) language.
+func TestHierarchyMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	alpha := []string{"a", "b", "c"}
+	for i := 0; i < 60; i++ {
+		sample := randomSample(rng, alpha, 10, 10)
+		l2, l3, l4 := Infer(2, sample), Infer(3, sample), Infer(4, sample)
+		for j := 0; j < 200; j++ {
+			w := randomSample(rng, alpha, 1, 9)[0]
+			if l4.Member(w) && !l3.Member(w) {
+				t.Fatalf("L_4 ⊄ L_3 on %v", w)
+			}
+			if l3.Member(w) && !l2.Member(w) {
+				t.Fatalf("L_3 ⊄ L_2 on %v", w)
+			}
+		}
+	}
+}
+
+// k = 2 agrees exactly with the single occurrence automaton of
+// internal/soa: both implement the paper's 2-testable inference.
+func TestKEquals2AgreesWithSOA(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alpha := []string{"a", "b", "c", "d"}
+	for i := 0; i < 80; i++ {
+		sample := randomSample(rng, alpha, 8, 8)
+		l := Infer(2, sample)
+		a := soa.Infer(sample)
+		for j := 0; j < 300; j++ {
+			w := randomSample(rng, alpha, 1, 7)[0]
+			if l.Member(w) != a.Member(w) {
+				t.Fatalf("k=2 and SOA disagree on %v (sample %v): ktest=%v soa=%v",
+					w, sample, l.Member(w), a.Member(w))
+			}
+		}
+	}
+}
+
+// Larger k generalizes less: the strict containment is witnessed on a
+// concrete case. From ab and bc, the 2-testable closure contains abc; the
+// 3-testable one does not.
+func TestPrecisionExample(t *testing.T) {
+	sample := split("ab", "bc")
+	l2, l3 := Infer(2, sample), Infer(3, sample)
+	abc := []string{"a", "b", "c"}
+	if !l2.Member(abc) {
+		t.Error("2-testable closure should contain abc")
+	}
+	if l3.Member(abc) {
+		t.Error("3-testable closure should not contain abc")
+	}
+}
+
+func TestShortStrings(t *testing.T) {
+	l := Infer(3, split("a", "xyz"))
+	if !l.Member(split("a")[0]) {
+		t.Error("observed short string rejected")
+	}
+	if l.Member(split("b")[0]) {
+		t.Error("unobserved short string accepted")
+	}
+	// ε was not observed.
+	if l.Member(nil) {
+		t.Error("ε accepted without observation")
+	}
+	l.AddString(nil)
+	if !l.Member(nil) {
+		t.Error("ε rejected after observation")
+	}
+}
+
+func TestMergeEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	alpha := []string{"a", "b", "c"}
+	s1 := randomSample(rng, alpha, 6, 8)
+	s2 := randomSample(rng, alpha, 6, 8)
+	batch := Infer(3, append(append([][]string{}, s1...), s2...))
+	inc := Infer(3, s1)
+	inc.Merge(Infer(3, s2))
+	for j := 0; j < 500; j++ {
+		w := randomSample(rng, alpha, 1, 8)[0]
+		if batch.Member(w) != inc.Member(w) {
+			t.Fatalf("merge differs from batch on %v", w)
+		}
+	}
+	if batch.Total() != inc.Total() || batch.Size() != inc.Size() {
+		t.Error("summary counters differ")
+	}
+}
+
+func TestInvalidK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for k < 2")
+		}
+	}()
+	New(1)
+}
+
+func TestMergeDifferentKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(2).Merge(New(3))
+}

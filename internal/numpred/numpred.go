@@ -1,0 +1,100 @@
+// Package numpred implements the numerical-predicates extension of
+// Section 9: SOREs and CHAREs can only count "zero, one or more", so a
+// post-processing step rewrites r+ into r{m,} or r{m} based on the exact
+// occurrence counts in the sample — the paper's example being aabb+
+// refined to a{2} b{2,} (rendered in XML Schema as minOccurs/maxOccurs).
+package numpred
+
+import (
+	"dtdinfer/internal/regex"
+)
+
+// Refine rewrites the repeatable factors of e whose operand is a single
+// symbol or a disjunction of symbols, using run statistics from the sample:
+//
+//   - x+ becomes x{m} when every maximal run of x-symbols in the sample has
+//     length exactly m >= 2, and x{m,} when the shortest run has length
+//     m >= 2;
+//   - x* and x? are left alone: "absent or at least m" is not expressible
+//     as a single {m,n} bound.
+//
+// Other subexpressions are preserved. The result denotes a subset of L(e)
+// that still contains every sample string.
+func Refine(e *regex.Expr, sample [][]string) *regex.Expr {
+	return refine(e, sample)
+}
+
+func refine(e *regex.Expr, sample [][]string) *regex.Expr {
+	if e.Op == regex.OpPlus {
+		if class, ok := symbolClass(e.Sub()); ok {
+			min, max, seen := runStats(class, sample)
+			switch {
+			case !seen || min < 2:
+				return e
+			case min == max:
+				return regex.Repeat(e.Sub(), min, min)
+			default:
+				return regex.Repeat(e.Sub(), min, regex.Unbounded)
+			}
+		}
+	}
+	if e.Subs == nil {
+		return e
+	}
+	c := &regex.Expr{Op: e.Op, Name: e.Name, Min: e.Min, Max: e.Max}
+	c.Subs = make([]*regex.Expr, len(e.Subs))
+	for i, s := range e.Subs {
+		c.Subs[i] = refine(s, sample)
+	}
+	return c
+}
+
+// symbolClass returns the symbol set of a plain symbol or a disjunction of
+// symbols.
+func symbolClass(e *regex.Expr) (map[string]bool, bool) {
+	switch e.Op {
+	case regex.OpSymbol:
+		return map[string]bool{e.Name: true}, true
+	case regex.OpUnion:
+		out := map[string]bool{}
+		for _, s := range e.Subs {
+			if s.Op != regex.OpSymbol {
+				return nil, false
+			}
+			out[s.Name] = true
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// runStats scans the sample for maximal runs of symbols from the class and
+// returns the shortest and longest run lengths, plus whether any run was
+// seen at all.
+func runStats(class map[string]bool, sample [][]string) (min, max int, seen bool) {
+	for _, w := range sample {
+		run := 0
+		flush := func() {
+			if run == 0 {
+				return
+			}
+			if !seen || run < min {
+				min = run
+			}
+			if run > max {
+				max = run
+			}
+			seen = true
+			run = 0
+		}
+		for _, s := range w {
+			if class[s] {
+				run++
+			} else {
+				flush()
+			}
+		}
+		flush()
+	}
+	return min, max, seen
+}

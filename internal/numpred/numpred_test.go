@@ -1,0 +1,87 @@
+package numpred
+
+import (
+	"testing"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/regex"
+)
+
+func split(ws ...string) [][]string {
+	out := make([][]string, len(ws))
+	for i, w := range ws {
+		for _, r := range w {
+			out[i] = append(out[i], string(r))
+		}
+	}
+	return out
+}
+
+// The paper's Section 9 example: strings of the shape aab+ refine to
+// a{2} b{2,}.
+func TestRefinePaperExample(t *testing.T) {
+	e := regex.MustParse("a+ b+")
+	sample := split("aabb", "aabbb", "aabbbb")
+	got := Refine(e, sample)
+	if got.String() != "a{2} b{2,}" {
+		t.Errorf("Refine = %q, want %q", got, "a{2} b{2,}")
+	}
+}
+
+func TestRefineKeepsSingleRuns(t *testing.T) {
+	e := regex.MustParse("a+ b")
+	got := Refine(e, split("ab", "aab"))
+	if got.String() != "a+ b" {
+		t.Errorf("Refine = %q, want unchanged", got)
+	}
+}
+
+func TestRefineDisjunctionClass(t *testing.T) {
+	e := regex.MustParse("(a + b)+ c")
+	got := Refine(e, split("abc", "bac", "aabc"))
+	if got.String() != "(a + b){2,} c" {
+		t.Errorf("Refine = %q, want (a + b){2,} c", got)
+	}
+}
+
+func TestRefineLeavesStarAndOpt(t *testing.T) {
+	e := regex.MustParse("a* b?")
+	got := Refine(e, split("aa", "b", "aab"))
+	if got.String() != "a* b?" {
+		t.Errorf("Refine = %q, want unchanged", got)
+	}
+}
+
+func TestRefineSkipsComplexOperands(t *testing.T) {
+	e := regex.MustParse("(a b)+")
+	got := Refine(e, split("abab"))
+	if got.String() != "(a b)+" {
+		t.Errorf("Refine = %q, want unchanged", got)
+	}
+}
+
+func TestRefineResultCoversSample(t *testing.T) {
+	e := regex.MustParse("a+ (b + c)+ d?")
+	sample := split("aabbc", "aaabcbd", "aacc")
+	got := Refine(e, sample)
+	for _, w := range sample {
+		if !automata.ExprMember(regex.ExpandRepeats(got), w) {
+			t.Errorf("refined %s rejects sample %v", got, w)
+		}
+	}
+	// And the refinement is a restriction of the original language.
+	if !automata.ExprIncludes(e, regex.ExpandRepeats(got)) {
+		t.Errorf("refined %s is not a subset of %s", got, e)
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	min, max, seen := runStats(map[string]bool{"a": true}, split("aaba", "xx"))
+	if !seen || min != 1 || max != 2 {
+		t.Errorf("runStats = %d %d %v", min, max, seen)
+	}
+	_, _, seen = runStats(map[string]bool{"q": true}, split("ab"))
+	if seen {
+		t.Error("q never occurs")
+	}
+}

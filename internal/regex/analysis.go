@@ -1,0 +1,229 @@
+package regex
+
+import "sort"
+
+// Nullable reports whether ε ∈ L(e).
+func (e *Expr) Nullable() bool {
+	switch e.Op {
+	case OpSymbol:
+		return false
+	case OpConcat:
+		for _, s := range e.Subs {
+			if !s.Nullable() {
+				return false
+			}
+		}
+		return true
+	case OpUnion:
+		for _, s := range e.Subs {
+			if s.Nullable() {
+				return true
+			}
+		}
+		return false
+	case OpOpt, OpStar:
+		return true
+	case OpPlus:
+		return e.Sub().Nullable()
+	case OpRepeat:
+		return e.Min == 0 || e.Sub().Nullable()
+	}
+	return false
+}
+
+// Glushkov holds the position-level analysis of an expression: each syntactic
+// occurrence of a symbol is a position 0..n-1 numbered left to right. First,
+// Last and Follow are the standard Glushkov sets; the Glushkov automaton of a
+// SORE is exactly its single occurrence automaton (Proposition 1).
+type Glushkov struct {
+	// Syms maps each position to its element name.
+	Syms []string
+	// Nullable reports ε ∈ L(e).
+	Nullable bool
+	// First and Last are the positions that can start/end an accepted string.
+	First, Last map[int]bool
+	// Follow maps each position to the positions that may immediately
+	// follow it in an accepted string.
+	Follow map[int]map[int]bool
+}
+
+// GlushkovSets computes the position analysis of e.
+func (e *Expr) GlushkovSets() *Glushkov {
+	g := &Glushkov{
+		First:  map[int]bool{},
+		Last:   map[int]bool{},
+		Follow: map[int]map[int]bool{},
+	}
+	st := g.build(e)
+	g.Nullable = st.nullable
+	for p := range st.first {
+		g.First[p] = true
+	}
+	for p := range st.last {
+		g.Last[p] = true
+	}
+	return g
+}
+
+type glState struct {
+	nullable    bool
+	first, last map[int]bool
+}
+
+func singleton(p int) map[int]bool { return map[int]bool{p: true} }
+
+func unionSet(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a)+len(b))
+	for p := range a {
+		out[p] = true
+	}
+	for p := range b {
+		out[p] = true
+	}
+	return out
+}
+
+func (g *Glushkov) link(lasts, firsts map[int]bool) {
+	for p := range lasts {
+		m := g.Follow[p]
+		if m == nil {
+			m = map[int]bool{}
+			g.Follow[p] = m
+		}
+		for q := range firsts {
+			m[q] = true
+		}
+	}
+}
+
+func (g *Glushkov) build(e *Expr) glState {
+	switch e.Op {
+	case OpSymbol:
+		p := len(g.Syms)
+		g.Syms = append(g.Syms, e.Name)
+		return glState{nullable: false, first: singleton(p), last: singleton(p)}
+	case OpConcat:
+		cur := g.build(e.Subs[0])
+		for _, s := range e.Subs[1:] {
+			nxt := g.build(s)
+			g.link(cur.last, nxt.first)
+			st := glState{nullable: cur.nullable && nxt.nullable}
+			if cur.nullable {
+				st.first = unionSet(cur.first, nxt.first)
+			} else {
+				st.first = cur.first
+			}
+			if nxt.nullable {
+				st.last = unionSet(cur.last, nxt.last)
+			} else {
+				st.last = nxt.last
+			}
+			cur = st
+		}
+		return cur
+	case OpUnion:
+		cur := g.build(e.Subs[0])
+		for _, s := range e.Subs[1:] {
+			nxt := g.build(s)
+			cur = glState{
+				nullable: cur.nullable || nxt.nullable,
+				first:    unionSet(cur.first, nxt.first),
+				last:     unionSet(cur.last, nxt.last),
+			}
+		}
+		return cur
+	case OpOpt:
+		st := g.build(e.Sub())
+		st.nullable = true
+		return st
+	case OpPlus:
+		st := g.build(e.Sub())
+		g.link(st.last, st.first)
+		return st
+	case OpStar:
+		st := g.build(e.Sub())
+		g.link(st.last, st.first)
+		st.nullable = true
+		return st
+	case OpRepeat:
+		st := g.build(e.Sub())
+		if e.Max == Unbounded || e.Max > 1 {
+			g.link(st.last, st.first)
+		}
+		if e.Min == 0 {
+			st.nullable = true
+		}
+		return st
+	}
+	panic("regex: unknown op in GlushkovSets")
+}
+
+// FirstSymbols returns the sorted set of element names that can start a
+// string of L(e).
+func (e *Expr) FirstSymbols() []string {
+	g := e.GlushkovSets()
+	return g.symbolSet(g.First)
+}
+
+// LastSymbols returns the sorted set of element names that can end a string
+// of L(e).
+func (e *Expr) LastSymbols() []string {
+	g := e.GlushkovSets()
+	return g.symbolSet(g.Last)
+}
+
+func (g *Glushkov) symbolSet(ps map[int]bool) []string {
+	set := map[string]bool{}
+	for p := range ps {
+		set[g.Syms[p]] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FollowPairs returns the set of 2-grams realizable in strings of L(e): the
+// pairs ab such that some string of L(e) contains a immediately followed by
+// b. Together with FirstSymbols and LastSymbols it determines the SOA of e
+// when e is a SORE (Section 4 of the paper).
+func (e *Expr) FollowPairs() map[[2]string]bool {
+	g := e.GlushkovSets()
+	out := map[[2]string]bool{}
+	for p, fs := range g.Follow {
+		for q := range fs {
+			out[[2]string{g.Syms[p], g.Syms[q]}] = true
+		}
+	}
+	return out
+}
+
+// IsDeterministic reports whether e is a deterministic (one-unambiguous)
+// regular expression in the sense of Brüggemann-Klein and Wood: no two
+// distinct positions carrying the same symbol compete in First or in any
+// Follow set. Every SORE is deterministic.
+func (e *Expr) IsDeterministic() bool {
+	g := e.GlushkovSets()
+	if symbolClash(g.Syms, g.First) {
+		return false
+	}
+	for _, fs := range g.Follow {
+		if symbolClash(g.Syms, fs) {
+			return false
+		}
+	}
+	return true
+}
+
+func symbolClash(syms []string, ps map[int]bool) bool {
+	seen := map[string]bool{}
+	for p := range ps {
+		if seen[syms[p]] {
+			return true
+		}
+		seen[syms[p]] = true
+	}
+	return false
+}

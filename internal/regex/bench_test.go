@@ -1,0 +1,48 @@
+package regex
+
+import "testing"
+
+var benchExprSrc = "a1? (a2 a3?)? (a4 + a5 + a6 + a7 + a8 + a9 + a10)* a11+ ((b?(a + c))+d)+e"
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchExprSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	e := MustParse(benchExprSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.String()
+	}
+}
+
+func BenchmarkSimplify(b *testing.B) {
+	e := MustParse("((a+)? + (b?)+ + ((c*)*)?)+ d{1,1} (e{0,1})+")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Simplify(e)
+	}
+}
+
+func BenchmarkMatchDerivatives(b *testing.B) {
+	e := MustParse("((b?(a + c))+d)+e")
+	w := []string{"b", "a", "c", "a", "c", "d", "a", "c", "d", "e"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Match(w) {
+			b.Fatal("reject")
+		}
+	}
+}
+
+func BenchmarkGlushkovSets(b *testing.B) {
+	e := MustParse(benchExprSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.GlushkovSets()
+	}
+}

@@ -1,0 +1,72 @@
+package regex
+
+// IsSORE reports whether e is a single occurrence regular expression: every
+// element name occurs at most once syntactically. SOREs are always
+// deterministic and their size is linear in the alphabet.
+func (e *Expr) IsSORE() bool {
+	for _, n := range e.SymbolOccurrences() {
+		if n > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCHARE reports whether e is a chain regular expression: a concatenation
+// f1···fn of factors, each factor being (a1+...+ak), (a1+...+ak)?,
+// (a1+...+ak)+ or (a1+...+ak)* with k >= 1 and the ai distinct alphabet
+// symbols (distinct across the whole expression, since CHAREs are SOREs).
+func (e *Expr) IsCHARE() bool {
+	if !e.IsSORE() {
+		return false
+	}
+	factors := []*Expr{e}
+	if e.Op == OpConcat {
+		factors = e.Subs
+	}
+	for _, f := range factors {
+		if !isChainFactor(f) {
+			return false
+		}
+	}
+	return true
+}
+
+func isChainFactor(f *Expr) bool {
+	switch f.Op {
+	case OpOpt, OpPlus, OpStar:
+		f = f.Sub()
+	case OpRepeat:
+		// Numerical predicates are an extension; a{m,n} factors are accepted
+		// as generalized chain factors.
+		f = f.Sub()
+	}
+	return isSymbolDisjunction(f)
+}
+
+func isSymbolDisjunction(f *Expr) bool {
+	if f.Op == OpSymbol {
+		return true
+	}
+	if f.Op != OpUnion {
+		return false
+	}
+	for _, s := range f.Subs {
+		if s.Op != OpSymbol {
+			return false
+		}
+	}
+	return true
+}
+
+// ChainFactors decomposes a CHARE into its factors, returning nil and false
+// when e is not a CHARE.
+func (e *Expr) ChainFactors() ([]*Expr, bool) {
+	if !e.IsCHARE() {
+		return nil, false
+	}
+	if e.Op == OpConcat {
+		return e.Subs, true
+	}
+	return []*Expr{e}, true
+}

@@ -1,0 +1,125 @@
+package regex
+
+// Brzozowski derivatives give a second, automaton-free matching engine for
+// expressions. The derivative of a language L by a symbol a is
+// { w : aw ∈ L }; a string belongs to L(e) iff deriving e by each of its
+// symbols in turn leaves a nullable expression. The implementation is used
+// both as a public matcher and as an independent oracle against which the
+// Glushkov automata are cross-checked in the property tests.
+//
+// Because ε and ∅ are not expressible in this AST (following the paper),
+// derivatives are represented by *Expr plus two out-of-band markers.
+
+// deriv is an expression extended with ε and ∅.
+type deriv struct {
+	// kind discriminates: 0 expression, 1 ε, 2 ∅.
+	kind int
+	e    *Expr
+}
+
+var (
+	dEps   = deriv{kind: 1}
+	dEmpty = deriv{kind: 2}
+)
+
+func dExpr(e *Expr) deriv { return deriv{kind: 0, e: e} }
+
+func (d deriv) nullable() bool {
+	switch d.kind {
+	case 1:
+		return true
+	case 2:
+		return false
+	default:
+		return d.e.Nullable()
+	}
+}
+
+// derive computes the derivative of d by the symbol a.
+func derive(d deriv, a string) deriv {
+	if d.kind != 0 {
+		return dEmpty
+	}
+	e := d.e
+	switch e.Op {
+	case OpSymbol:
+		if e.Name == a {
+			return dEps
+		}
+		return dEmpty
+	case OpUnion:
+		out := dEmpty
+		for _, s := range e.Subs {
+			out = dUnion(out, derive(dExpr(s), a))
+		}
+		return out
+	case OpConcat:
+		// d(e1 e2...en) = d(e1)·rest + (if e1 nullable) d(e2...en).
+		rest := tailOf(e)
+		first := dConcat(derive(dExpr(e.Subs[0]), a), rest)
+		if e.Subs[0].Nullable() {
+			return dUnion(first, derive(rest, a))
+		}
+		return first
+	case OpOpt:
+		return derive(dExpr(e.Sub()), a)
+	case OpPlus, OpStar:
+		// d(e+) = d(e*) = d(e)·e*.
+		return dConcat(derive(dExpr(e.Sub()), a), dExpr(Star(e.Sub())))
+	case OpRepeat:
+		return derive(dExpr(ExpandRepeats(e)), a)
+	}
+	return dEmpty
+}
+
+func tailOf(e *Expr) deriv {
+	if len(e.Subs) == 2 {
+		return dExpr(e.Subs[1])
+	}
+	return dExpr(&Expr{Op: OpConcat, Subs: e.Subs[1:]})
+}
+
+func dUnion(a, b deriv) deriv {
+	switch {
+	case a.kind == 2:
+		return b
+	case b.kind == 2:
+		return a
+	case a.kind == 1 && b.kind == 1:
+		return dEps
+	case a.kind == 1:
+		return dExpr(Opt(b.e))
+	case b.kind == 1:
+		return dExpr(Opt(a.e))
+	default:
+		return dExpr(Union(a.e, b.e))
+	}
+}
+
+func dConcat(a, b deriv) deriv {
+	switch {
+	case a.kind == 2 || b.kind == 2:
+		return dEmpty
+	case a.kind == 1:
+		return b
+	case b.kind == 1:
+		return a
+	default:
+		return dExpr(Concat(a.e, b.e))
+	}
+}
+
+// Match reports whether the string of element names w belongs to L(e),
+// by Brzozowski derivatives. For repeated matching against the same
+// expression, compiling a DFA with the automata package is faster; Match
+// needs no preprocessing and serves as an independent oracle.
+func (e *Expr) Match(w []string) bool {
+	d := dExpr(e)
+	for _, a := range w {
+		d = derive(d, a)
+		if d.kind == 2 {
+			return false
+		}
+	}
+	return d.nullable()
+}

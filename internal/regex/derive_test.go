@@ -1,0 +1,56 @@
+package regex
+
+import (
+	"testing"
+)
+
+func words(ws ...string) [][]string {
+	out := make([][]string, len(ws))
+	for i, w := range ws {
+		for _, r := range w {
+			out[i] = append(out[i], string(r))
+		}
+	}
+	return out
+}
+
+func TestMatchBasics(t *testing.T) {
+	tests := []struct {
+		expr    string
+		accept  []string
+		rejects []string
+	}{
+		{"a", []string{"a"}, []string{"", "b", "aa"}},
+		{"a b", []string{"ab"}, []string{"a", "b", "ba", "abb"}},
+		{"a + b", []string{"a", "b"}, []string{"", "ab"}},
+		{"a?", []string{"", "a"}, []string{"aa"}},
+		{"a*", []string{"", "a", "aaaa"}, []string{"b"}},
+		{"a+", []string{"a", "aa"}, []string{""}},
+		{"a{2,3}", []string{"aa", "aaa"}, []string{"a", "aaaa"}},
+		{"((b?(a + c))+d)+e", []string{"ade", "bade", "bacacdacde"}, []string{"", "e", "dade"}},
+		{"a? b? c?", []string{"", "a", "bc", "abc"}, []string{"cb", "aa"}},
+	}
+	for _, tc := range tests {
+		e := MustParse(tc.expr)
+		for _, w := range words(tc.accept...) {
+			if !e.Match(w) {
+				t.Errorf("%s should match %v", tc.expr, w)
+			}
+		}
+		for _, w := range words(tc.rejects...) {
+			if e.Match(w) {
+				t.Errorf("%s should reject %v", tc.expr, w)
+			}
+		}
+	}
+}
+
+func TestMatchMultiCharNames(t *testing.T) {
+	e := MustParse("authors,citation,(volume|month)")
+	if !e.Match([]string{"authors", "citation", "volume"}) {
+		t.Error("reject of valid sequence")
+	}
+	if e.Match([]string{"authors", "citation", "volume", "month"}) {
+		t.Error("accept of both volume and month")
+	}
+}

@@ -1,0 +1,42 @@
+package regex
+
+import "testing"
+
+// FuzzParse exercises the expression parser with arbitrary input; run it
+// with `go test -fuzz=FuzzParse ./internal/regex`. As a unit test it
+// replays the seed corpus. Invariants: no panic, and any successfully
+// parsed expression must survive a print/parse round trip.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"((b?(a + c))+d)+e",
+		"a1+ + (a2?a3+)",
+		"authors,citation,(volume|month),year",
+		"a{2,} b{1,3}",
+		"(a|b),c?",
+		"a? ? +",
+		"(((",
+		"a∗·b",
+		"{9}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if e == nil {
+			t.Fatalf("Parse(%q) returned nil without error", input)
+		}
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", e.String(), input, err)
+		}
+		if !Equal(e, back) {
+			t.Fatalf("round trip changed tree for %q: %s vs %s", input, e, back)
+		}
+		if s := Simplify(e); s == nil {
+			t.Fatalf("Simplify(%q) returned nil", input)
+		}
+	})
+}

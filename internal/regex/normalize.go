@@ -1,0 +1,188 @@
+package regex
+
+// quant describes the effect of a (possibly stacked) quantifier: whether it
+// admits zero occurrences and whether it admits more than one. The four
+// combinations correspond to no quantifier, ?, +, and *. Stacked quantifiers
+// compose by component-wise disjunction, which validates the paper's
+// normalization rules (s+)+ → s+, s?? → s?, (s?)+ → (s+)? ≡ s*.
+type quant struct {
+	nullable   bool
+	repeatable bool
+}
+
+func (q quant) apply(e *Expr) *Expr {
+	switch {
+	case q.nullable && q.repeatable:
+		return Star(e)
+	case q.nullable:
+		return Opt(e)
+	case q.repeatable:
+		return Plus(e)
+	default:
+		return e
+	}
+}
+
+func quantOf(op Op) (quant, bool) {
+	switch op {
+	case OpOpt:
+		return quant{nullable: true}, true
+	case OpPlus:
+		return quant{repeatable: true}, true
+	case OpStar:
+		return quant{nullable: true, repeatable: true}, true
+	}
+	return quant{}, false
+}
+
+// Simplify returns a language-equivalent expression in normal form:
+// stacked quantifiers are collapsed ((r+)? becomes r*, (r+)+ becomes r+,
+// r?? becomes r?, (r?)+ becomes r*), a quantifier ? on an already nullable
+// operand is dropped, and concatenations/disjunctions are flattened with
+// syntactic duplicates removed from disjunctions. Simplify serves both as
+// the paper's normalization step in the completeness proof of rewrite and
+// as the post-processing that reintroduces the Kleene star, which rewrite
+// itself never emits.
+func Simplify(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	if q, ok := quantOf(e.Op); ok {
+		inner := e.Sub()
+		for {
+			iq, ok := quantOf(inner.Op)
+			if !ok {
+				break
+			}
+			q = quant{q.nullable || iq.nullable, q.repeatable || iq.repeatable}
+			inner = inner.Sub()
+		}
+		inner = Simplify(inner)
+		// Simplifying the operand may surface a quantifier at its root
+		// (e.g. d? + d hoists to (d)?): absorb it too.
+		for {
+			iq, ok := quantOf(inner.Op)
+			if !ok {
+				break
+			}
+			q = quant{q.nullable || iq.nullable, q.repeatable || iq.repeatable}
+			inner = inner.Sub()
+		}
+		// Under a repeatable quantifier, quantifiers on disjunction members
+		// are absorbed: (a+ + b)+ ≡ (a + b)+ and (a? + b)+ ≡ (a + b)*.
+		// Under a bare ?, only member ?'s can be absorbed: (a? + b)? ≡ (a + b)?.
+		if inner.Op == OpUnion {
+			subs := make([]*Expr, len(inner.Subs))
+			changed := false
+			for i, s := range inner.Subs {
+				iq, ok := quantOf(s.Op)
+				if ok && (q.repeatable || (iq.nullable && !iq.repeatable)) {
+					q.nullable = q.nullable || iq.nullable
+					subs[i] = s.Sub()
+					changed = true
+				} else {
+					subs[i] = s
+				}
+			}
+			if changed {
+				inner = Simplify(Union(subs...))
+				if iq2, ok := quantOf(inner.Op); ok {
+					// The union collapsed to a single quantified term.
+					q = quant{q.nullable || iq2.nullable, q.repeatable || iq2.repeatable}
+					inner = inner.Sub()
+				}
+			}
+		}
+		if q.nullable && inner.Nullable() {
+			// r? ≡ r and r* ≡ r+ when ε ∈ L(r).
+			q.nullable = false
+		}
+		return q.apply(inner)
+	}
+	switch e.Op {
+	case OpSymbol:
+		return e
+	case OpConcat:
+		subs := make([]*Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			subs[i] = Simplify(s)
+		}
+		return Concat(subs...)
+	case OpUnion:
+		subs := make([]*Expr, len(e.Subs))
+		hoistOpt := false
+		for i, s := range e.Subs {
+			subs[i] = Simplify(s)
+			// Hoist member ?'s out of the disjunction: a? + b ≡ (a + b)?.
+			// Star members keep their star (a* + b already contains ε, and
+			// (a + b)* would be a different language).
+			if subs[i].Op == OpOpt {
+				subs[i] = subs[i].Sub()
+				hoistOpt = true
+			}
+		}
+		u := Union(subs...)
+		if hoistOpt && !u.Nullable() {
+			return Opt(u)
+		}
+		return u
+	case OpRepeat:
+		inner := Simplify(e.Sub())
+		if e.Min == 1 && e.Max == 1 {
+			return inner
+		}
+		if e.Min == 0 && e.Max == 1 {
+			return Simplify(Opt(inner))
+		}
+		if e.Min == 0 && e.Max == Unbounded {
+			return Simplify(Star(inner))
+		}
+		if e.Min == 1 && e.Max == Unbounded {
+			return Simplify(Plus(inner))
+		}
+		return Repeat(inner, e.Min, e.Max)
+	}
+	return e
+}
+
+// ExpandRepeats rewrites every numerical predicate r{m,n} into the core
+// operators: r{2,} becomes r·r·r*, r{2,3} becomes r·r·r?, and so on. The
+// result uses only symbols, concatenation, disjunction, ?, + and *, so the
+// automata substrate need not treat OpRepeat specially.
+func ExpandRepeats(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	if e.Op == OpRepeat {
+		inner := ExpandRepeats(e.Sub())
+		var subs []*Expr
+		for i := 0; i < e.Min; i++ {
+			subs = append(subs, inner.Clone())
+		}
+		switch {
+		case e.Max == Unbounded && e.Min == 0:
+			return Star(inner)
+		case e.Max == Unbounded:
+			subs[len(subs)-1] = Plus(inner.Clone())
+		default:
+			for i := e.Min; i < e.Max; i++ {
+				subs = append(subs, Opt(inner.Clone()))
+			}
+		}
+		if len(subs) == 0 {
+			// {0,0}: only ε; not expressible as a bare expression. Callers
+			// never produce this (numpred emits bounds with Max >= 1).
+			panic("regex: ExpandRepeats on r{0,0}")
+		}
+		return Concat(subs...)
+	}
+	if e.Subs == nil {
+		return e
+	}
+	c := &Expr{Op: e.Op, Name: e.Name, Min: e.Min, Max: e.Max}
+	c.Subs = make([]*Expr, len(e.Subs))
+	for i, s := range e.Subs {
+		c.Subs[i] = ExpandRepeats(s)
+	}
+	return c
+}

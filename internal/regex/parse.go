@@ -1,0 +1,316 @@
+package regex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a regular expression in either the paper's mathematical
+// notation or DTD content-model notation (the two may be mixed):
+//
+//   - concatenation: juxtaposition separated by whitespace, "·", or ",";
+//   - disjunction: "|" always, or "+" when it is not in postfix position;
+//   - postfix operators ?, +, * and the numerical-predicate extension
+//     {m,n}, {m,}, {m} bind tightest;
+//   - element names are runs of letters, digits, '_', '-', '.' and ':'
+//     starting with a letter or '_'.
+//
+// A "+" is read as the postfix one-or-more operator exactly when it
+// immediately follows, without intervening whitespace, a symbol, a closing
+// parenthesis, or another postfix operator; otherwise it is disjunction.
+// This matches the paper's typography: in "(b?(a + c))+d" the spaced "+" is
+// a disjunction and the tight "+" after ")" is postfix.
+func Parse(input string) (*Expr, error) {
+	p := &parser{src: normalizeInput(input)}
+	p.lex()
+	if len(p.toks) == 0 {
+		return nil, fmt.Errorf("regex: empty expression")
+	}
+	e, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("regex: unexpected %q at token %d in %q",
+			p.toks[p.pos].text, p.pos, input)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed tables.
+func MustParse(input string) *Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func normalizeInput(s string) string {
+	r := strings.NewReplacer("∗", "*", "·", " ", "⋅", " ", "ε", "")
+	return r.Replace(s)
+}
+
+type tokKind int
+
+const (
+	tokSym tokKind = iota
+	tokLParen
+	tokRParen
+	tokUnion    // '|' or a disjunction '+'
+	tokComma    // ',' explicit concatenation
+	tokOpt      // '?'
+	tokPostPlus // postfix '+'
+	tokStar     // '*'
+	tokRepeat   // '{m,n}'
+)
+
+type token struct {
+	kind     tokKind
+	text     string
+	min, max int // tokRepeat bounds
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+	err  error
+}
+
+func isSymStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isSymRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' ||
+		r == '.' || r == ':'
+}
+
+func (p *parser) lex() {
+	src := []rune(p.src)
+	i := 0
+	// prevTight reports whether the previous non-space character ends an
+	// operand, with no whitespace between it and position i.
+	prevTight := false
+	for i < len(src) {
+		r := src[i]
+		switch {
+		case unicode.IsSpace(r):
+			prevTight = false
+			i++
+		case r == '(':
+			p.toks = append(p.toks, token{kind: tokLParen, text: "("})
+			prevTight = false
+			i++
+		case r == ')':
+			p.toks = append(p.toks, token{kind: tokRParen, text: ")"})
+			prevTight = true
+			i++
+		case r == '|':
+			p.toks = append(p.toks, token{kind: tokUnion, text: "|"})
+			prevTight = false
+			i++
+		case r == ',':
+			p.toks = append(p.toks, token{kind: tokComma, text: ","})
+			prevTight = false
+			i++
+		case r == '?':
+			p.toks = append(p.toks, token{kind: tokOpt, text: "?"})
+			prevTight = true
+			i++
+		case r == '*':
+			p.toks = append(p.toks, token{kind: tokStar, text: "*"})
+			prevTight = true
+			i++
+		case r == '+':
+			if prevTight {
+				p.toks = append(p.toks, token{kind: tokPostPlus, text: "+"})
+				prevTight = true
+			} else {
+				p.toks = append(p.toks, token{kind: tokUnion, text: "+"})
+			}
+			i++
+		case r == '{':
+			j := i + 1
+			for j < len(src) && src[j] != '}' {
+				j++
+			}
+			if j == len(src) {
+				p.err = fmt.Errorf("regex: unterminated {...} in %q", p.src)
+				return
+			}
+			t, err := parseBounds(string(src[i+1 : j]))
+			if err != nil {
+				p.err = err
+				return
+			}
+			p.toks = append(p.toks, t)
+			prevTight = true
+			i = j + 1
+		case isSymStart(r):
+			j := i
+			for j < len(src) && isSymRune(src[j]) {
+				j++
+			}
+			p.toks = append(p.toks, token{kind: tokSym, text: string(src[i:j])})
+			prevTight = true
+			i = j
+		default:
+			p.err = fmt.Errorf("regex: unexpected character %q in %q", r, p.src)
+			return
+		}
+	}
+}
+
+func parseBounds(s string) (token, error) {
+	s = strings.TrimSpace(s)
+	t := token{kind: tokRepeat, text: "{" + s + "}"}
+	comma := strings.IndexByte(s, ',')
+	if comma < 0 {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return t, fmt.Errorf("regex: bad repeat bound %q", s)
+		}
+		t.min, t.max = n, n
+		return t, nil
+	}
+	lo, hi := strings.TrimSpace(s[:comma]), strings.TrimSpace(s[comma+1:])
+	n, err := strconv.Atoi(lo)
+	if err != nil || n < 0 {
+		return t, fmt.Errorf("regex: bad repeat lower bound %q", lo)
+	}
+	t.min = n
+	if hi == "" {
+		t.max = Unbounded
+		return t, nil
+	}
+	m, err := strconv.Atoi(hi)
+	if err != nil || m < n {
+		return t, fmt.Errorf("regex: bad repeat upper bound %q", hi)
+	}
+	t.max = m
+	return t, nil
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) parseUnion() (*Expr, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokUnion {
+			break
+		}
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &Expr{Op: OpUnion, Subs: flatten(OpUnion, subs)}, nil
+}
+
+func (p *parser) parseConcat() (*Expr, error) {
+	first, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		if t.kind == tokComma {
+			p.pos++
+			t, ok = p.peek()
+			if !ok {
+				return nil, fmt.Errorf("regex: trailing comma")
+			}
+		}
+		if t.kind != tokSym && t.kind != tokLParen {
+			break
+		}
+		next, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return &Expr{Op: OpConcat, Subs: flatten(OpConcat, subs)}, nil
+}
+
+func (p *parser) parsePostfix() (*Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch t.kind {
+		case tokOpt:
+			e = Opt(e)
+		case tokPostPlus:
+			e = Plus(e)
+		case tokStar:
+			e = Star(e)
+		case tokRepeat:
+			e = Repeat(e, t.min, t.max)
+		default:
+			return e, nil
+		}
+		p.pos++
+	}
+	return e, nil
+}
+
+func (p *parser) parseAtom() (*Expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("regex: unexpected end of expression in %q", p.src)
+	}
+	switch t.kind {
+	case tokSym:
+		p.pos++
+		return Sym(t.text), nil
+	case tokLParen:
+		p.pos++
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		t, ok = p.peek()
+		if !ok || t.kind != tokRParen {
+			return nil, fmt.Errorf("regex: missing ) in %q", p.src)
+		}
+		p.pos++
+		return e, nil
+	default:
+		return nil, fmt.Errorf("regex: unexpected %q in %q", t.text, p.src)
+	}
+}

@@ -1,0 +1,88 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Parse must never panic, whatever bytes arrive.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", input, r)
+			}
+		}()
+		e, err := Parse(input)
+		if err == nil && e == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial hand-picked inputs.
+	for _, in := range []string{"((((", "a{999999999999999999999}", "a{1,2,3}",
+		"+++", "a| |b", ",,,,", "a? ? ?", "(a+b)?)", "{}", "a{-1}", "∗∗", "·desc·"} {
+		Parse(in)
+	}
+}
+
+// String() output always re-parses to a syntactically identical tree
+// (printer/parser adjunction) for arbitrary generated expressions.
+func TestPrintParseAdjunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	alpha := []string{"a", "b", "cd", "e-f", "g.h", "i:j", "k_l", "a1", "a10"}
+	for i := 0; i < 2000; i++ {
+		e := randomExprLocal(rng, alpha, 4)
+		for _, rendered := range []string{e.String(), e.DTDString()} {
+			back, err := Parse(rendered)
+			if err != nil {
+				t.Fatalf("Parse(%q) failed: %v (from %v)", rendered, err, e)
+			}
+			if !Equal(e, back) {
+				t.Fatalf("round trip changed tree: %q -> %q", rendered, back)
+			}
+		}
+	}
+}
+
+func randomExprLocal(rng *rand.Rand, alpha []string, depth int) *Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return Sym(alpha[rng.Intn(len(alpha))])
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return Opt(randomExprLocal(rng, alpha, depth-1))
+	case 1:
+		return Plus(randomExprLocal(rng, alpha, depth-1))
+	case 2:
+		return Star(randomExprLocal(rng, alpha, depth-1))
+	case 3:
+		min := rng.Intn(3)
+		max := min + rng.Intn(3)
+		if max == 0 {
+			max = 1
+		}
+		if rng.Intn(2) == 0 {
+			return Repeat(randomExprLocal(rng, alpha, depth-1), min, Unbounded)
+		}
+		return Repeat(randomExprLocal(rng, alpha, depth-1), min, max)
+	case 4, 5:
+		n := 2 + rng.Intn(3)
+		subs := make([]*Expr, n)
+		for i := range subs {
+			subs[i] = randomExprLocal(rng, alpha, depth-1)
+		}
+		return Concat(subs...)
+	default:
+		n := 2 + rng.Intn(3)
+		subs := make([]*Expr, n)
+		for i := range subs {
+			subs[i] = randomExprLocal(rng, alpha, depth-1)
+		}
+		return Union(subs...)
+	}
+}

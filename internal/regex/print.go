@@ -1,0 +1,119 @@
+package regex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Precedence levels, loosest to tightest: union < concat < postfix.
+const (
+	precUnion = iota
+	precConcat
+	precPostfix
+	precAtom
+)
+
+func (e *Expr) prec() int {
+	switch e.Op {
+	case OpSymbol:
+		return precAtom
+	case OpUnion:
+		return precUnion
+	case OpConcat:
+		return precConcat
+	default:
+		return precPostfix
+	}
+}
+
+// String renders e in the paper's mathematical notation: concatenation by
+// juxtaposition (separated by a space), disjunction as " + ", and postfix
+// ?, +, * and {m,n} attached without a space, e.g. ((b? (a + c))+ d)+ e.
+// The output parses back with Parse.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b, paperStyle)
+	return b.String()
+}
+
+// DTDString renders e as a DTD content particle: sequences with commas,
+// choices with |, e.g. ((b?,(a|c))+,d)+,e. The output parses back with
+// Parse and is accepted inside a <!ELEMENT name (...)> declaration after
+// wrapping in parentheses.
+func (e *Expr) DTDString() string {
+	var b strings.Builder
+	e.write(&b, dtdStyle)
+	return b.String()
+}
+
+type printStyle int
+
+const (
+	paperStyle printStyle = iota
+	dtdStyle
+)
+
+func (e *Expr) write(b *strings.Builder, st printStyle) {
+	switch e.Op {
+	case OpSymbol:
+		b.WriteString(e.Name)
+	case OpConcat:
+		sep := " "
+		if st == dtdStyle {
+			sep = ","
+		}
+		for i, s := range e.Subs {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			s.writeParen(b, st, precConcat)
+		}
+	case OpUnion:
+		sep := " + "
+		if st == dtdStyle {
+			sep = "|"
+		}
+		for i, s := range e.Subs {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			s.writeParen(b, st, precUnion)
+		}
+	case OpOpt, OpPlus, OpStar, OpRepeat:
+		e.Sub().writeParen(b, st, precPostfix)
+		switch e.Op {
+		case OpOpt:
+			b.WriteByte('?')
+		case OpPlus:
+			b.WriteByte('+')
+		case OpStar:
+			b.WriteByte('*')
+		case OpRepeat:
+			if e.Max == Unbounded {
+				fmt.Fprintf(b, "{%d,}", e.Min)
+			} else if e.Min == e.Max {
+				fmt.Fprintf(b, "{%d}", e.Min)
+			} else {
+				fmt.Fprintf(b, "{%d,%d}", e.Min, e.Max)
+			}
+		}
+	}
+}
+
+// writeParen writes e, parenthesized when its operator binds looser than the
+// context requires. Postfix operators always parenthesize non-atomic
+// operands for readability, matching the paper's style (a+)? not a+?.
+func (e *Expr) writeParen(b *strings.Builder, st printStyle, ctx int) {
+	p := e.prec()
+	need := p < ctx
+	if ctx == precPostfix && p != precAtom {
+		need = true
+	}
+	if need {
+		b.WriteByte('(')
+		e.write(b, st)
+		b.WriteByte(')')
+	} else {
+		e.write(b, st)
+	}
+}

@@ -1,0 +1,324 @@
+// Package regex implements the regular expression abstraction used by the
+// DTD inference algorithms of Bex, Neven, Schwentick and Tuyls,
+// "Inference of Concise DTDs from XML Data" (VLDB 2006).
+//
+// Expressions are built over a finite alphabet of element names. Following
+// the paper, the empty string ε and the empty language ∅ are not expressible
+// as basic symbols; optionality is expressed with the ? operator. The package
+// provides construction, parsing (both the paper's mathematical notation and
+// DTD content-model notation), printing, syntactic analysis (first/last/
+// follow sets, nullability), normalization, and classification into the
+// paper's two target classes:
+//
+//   - SORE: single occurrence regular expressions, in which every element
+//     name occurs at most once (e.g. ((b?(a+c))+d)+e);
+//   - CHARE: chain regular expressions, concatenations of factors of the
+//     form (a1+...+ak), (a1+...+ak)?, (a1+...+ak)+ or (a1+...+ak)*.
+package regex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op identifies the operator at the root of an expression node.
+type Op int
+
+const (
+	// OpSymbol is a leaf: a single element name.
+	OpSymbol Op = iota
+	// OpConcat is the concatenation r1 · r2 · ... · rn, n >= 2.
+	OpConcat
+	// OpUnion is the disjunction r1 + r2 + ... + rn, n >= 2.
+	OpUnion
+	// OpOpt is r?, accepting ε or any string of r.
+	OpOpt
+	// OpPlus is r+, one or more repetitions of r.
+	OpPlus
+	// OpStar is r*, zero or more repetitions of r.
+	OpStar
+	// OpRepeat is the numerical-predicate extension r{m,n} of Section 9;
+	// n == Unbounded means r{m,}. It is semantically r^m · r* (bounded
+	// accordingly) and is produced only by the numpred post-processing,
+	// never by the core inference algorithms.
+	OpRepeat
+)
+
+// Unbounded marks an OpRepeat with no upper bound, as in r{2,}.
+const Unbounded = -1
+
+func (o Op) String() string {
+	switch o {
+	case OpSymbol:
+		return "symbol"
+	case OpConcat:
+		return "concat"
+	case OpUnion:
+		return "union"
+	case OpOpt:
+		return "opt"
+	case OpPlus:
+		return "plus"
+	case OpStar:
+		return "star"
+	case OpRepeat:
+		return "repeat"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Expr is a node of a regular expression tree. Expressions are immutable by
+// convention: algorithms build new trees rather than mutating shared nodes.
+type Expr struct {
+	// Op is the node operator.
+	Op Op
+	// Name is the element name for OpSymbol leaves.
+	Name string
+	// Subs holds the children: n >= 2 children for OpConcat and OpUnion,
+	// exactly one for OpOpt, OpPlus, OpStar and OpRepeat.
+	Subs []*Expr
+	// Min and Max bound an OpRepeat node; Max may be Unbounded.
+	Min, Max int
+}
+
+// Sym returns a leaf expression for the element name s.
+func Sym(s string) *Expr {
+	return &Expr{Op: OpSymbol, Name: s}
+}
+
+// Concat returns the concatenation of the given expressions, flattening
+// nested concatenations. With a single argument it returns that argument;
+// it panics when called without arguments, as ε is not expressible.
+func Concat(subs ...*Expr) *Expr {
+	flat := flatten(OpConcat, subs)
+	if len(flat) == 0 {
+		panic("regex: Concat of zero expressions (ε is not expressible)")
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Expr{Op: OpConcat, Subs: flat}
+}
+
+// Union returns the disjunction of the given expressions, flattening nested
+// disjunctions and removing syntactic duplicates. With a single argument it
+// returns that argument; it panics when called without arguments.
+func Union(subs ...*Expr) *Expr {
+	flat := flatten(OpUnion, subs)
+	if len(flat) == 0 {
+		panic("regex: Union of zero expressions (∅ is not expressible)")
+	}
+	uniq := flat[:0]
+	for _, e := range flat {
+		dup := false
+		for _, u := range uniq {
+			if Equal(u, e) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, e)
+		}
+	}
+	if len(uniq) == 1 {
+		return uniq[0]
+	}
+	return &Expr{Op: OpUnion, Subs: uniq}
+}
+
+func flatten(op Op, subs []*Expr) []*Expr {
+	var out []*Expr
+	for _, s := range subs {
+		if s == nil {
+			continue
+		}
+		if s.Op == op {
+			out = append(out, s.Subs...)
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Opt returns e?.
+func Opt(e *Expr) *Expr { return &Expr{Op: OpOpt, Subs: []*Expr{e}} }
+
+// Plus returns e+.
+func Plus(e *Expr) *Expr { return &Expr{Op: OpPlus, Subs: []*Expr{e}} }
+
+// Star returns e*.
+func Star(e *Expr) *Expr { return &Expr{Op: OpStar, Subs: []*Expr{e}} }
+
+// Repeat returns e{min,max}; max may be Unbounded.
+func Repeat(e *Expr, min, max int) *Expr {
+	if min < 0 || (max != Unbounded && max < min) {
+		panic(fmt.Sprintf("regex: invalid repeat bounds {%d,%d}", min, max))
+	}
+	return &Expr{Op: OpRepeat, Subs: []*Expr{e}, Min: min, Max: max}
+}
+
+// Sub returns the single child of a unary node. It panics on other nodes.
+func (e *Expr) Sub() *Expr {
+	switch e.Op {
+	case OpOpt, OpPlus, OpStar, OpRepeat:
+		return e.Subs[0]
+	}
+	panic("regex: Sub on non-unary node " + e.Op.String())
+}
+
+// Symbols returns the sorted set of distinct element names occurring in e.
+func (e *Expr) Symbols() []string {
+	set := map[string]bool{}
+	e.Walk(func(n *Expr) {
+		if n.Op == OpSymbol {
+			set[n.Name] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SymbolOccurrences returns the number of times each element name occurs
+// syntactically in e. A SORE has every count equal to one.
+func (e *Expr) SymbolOccurrences() map[string]int {
+	counts := map[string]int{}
+	e.Walk(func(n *Expr) {
+		if n.Op == OpSymbol {
+			counts[n.Name]++
+		}
+	})
+	return counts
+}
+
+// Walk visits every node of e in pre-order.
+func (e *Expr) Walk(f func(*Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	for _, s := range e.Subs {
+		s.Walk(f)
+	}
+}
+
+// Tokens counts the size of e in tokens: one per symbol occurrence and one
+// per operator application (an n-ary concatenation or disjunction counts as
+// n-1 binary applications). This is the conciseness measure used when the
+// paper reports results like "an expression of 185 tokens".
+func (e *Expr) Tokens() int {
+	n := 0
+	e.Walk(func(x *Expr) {
+		switch x.Op {
+		case OpSymbol:
+			n++
+		case OpConcat, OpUnion:
+			n += len(x.Subs) - 1
+		default:
+			n++
+		}
+	})
+	return n
+}
+
+// Depth returns the height of the expression tree.
+func (e *Expr) Depth() int {
+	if e == nil {
+		return 0
+	}
+	d := 0
+	for _, s := range e.Subs {
+		if sd := s.Depth(); sd > d {
+			d = sd
+		}
+	}
+	return d + 1
+}
+
+// Clone returns a deep copy of e.
+func (e *Expr) Clone() *Expr {
+	if e == nil {
+		return nil
+	}
+	c := &Expr{Op: e.Op, Name: e.Name, Min: e.Min, Max: e.Max}
+	if e.Subs != nil {
+		c.Subs = make([]*Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			c.Subs[i] = s.Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports whether two expressions are syntactically identical.
+func Equal(a, b *Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Op != b.Op || a.Name != b.Name || a.Min != b.Min || a.Max != b.Max ||
+		len(a.Subs) != len(b.Subs) {
+		return false
+	}
+	for i := range a.Subs {
+		if !Equal(a.Subs[i], b.Subs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualModuloUnionOrder reports whether a and b are syntactically equal up
+// to commutativity of +, the equality notion of Theorem 5.
+func EqualModuloUnionOrder(a, b *Expr) bool {
+	return Equal(sortUnions(a), sortUnions(b))
+}
+
+func sortUnions(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	c := &Expr{Op: e.Op, Name: e.Name, Min: e.Min, Max: e.Max}
+	if e.Subs != nil {
+		c.Subs = make([]*Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			c.Subs[i] = sortUnions(s)
+		}
+	}
+	if c.Op == OpUnion {
+		sort.Slice(c.Subs, func(i, j int) bool {
+			return c.Subs[i].key() < c.Subs[j].key()
+		})
+	}
+	return c
+}
+
+// key returns a total-order key for deterministic sorting of subtrees.
+func (e *Expr) key() string {
+	var b strings.Builder
+	e.writeKey(&b)
+	return b.String()
+}
+
+func (e *Expr) writeKey(b *strings.Builder) {
+	switch e.Op {
+	case OpSymbol:
+		b.WriteString(e.Name)
+	default:
+		fmt.Fprintf(b, "(%d", int(e.Op))
+		if e.Op == OpRepeat {
+			fmt.Fprintf(b, "{%d,%d}", e.Min, e.Max)
+		}
+		for _, s := range e.Subs {
+			b.WriteByte(' ')
+			s.writeKey(b)
+		}
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,465 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsFlatten(t *testing.T) {
+	e := Concat(Concat(Sym("a"), Sym("b")), Sym("c"))
+	if e.Op != OpConcat || len(e.Subs) != 3 {
+		t.Fatalf("nested concat not flattened: %v", e)
+	}
+	u := Union(Union(Sym("a"), Sym("b")), Sym("c"))
+	if u.Op != OpUnion || len(u.Subs) != 3 {
+		t.Fatalf("nested union not flattened: %v", u)
+	}
+}
+
+func TestUnionDeduplicates(t *testing.T) {
+	u := Union(Sym("a"), Sym("b"), Sym("a"))
+	if len(u.Subs) != 2 {
+		t.Fatalf("union did not deduplicate: %s", u)
+	}
+	if s := Union(Sym("a"), Sym("a")); s.Op != OpSymbol || s.Name != "a" {
+		t.Fatalf("union of identical terms should collapse, got %s", s)
+	}
+}
+
+func TestSingleChildConstructors(t *testing.T) {
+	if e := Concat(Sym("a")); e.Op != OpSymbol {
+		t.Errorf("Concat of one = %v", e)
+	}
+	if e := Union(Sym("a")); e.Op != OpSymbol {
+		t.Errorf("Union of one = %v", e)
+	}
+}
+
+func TestConcatPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Concat() should panic")
+		}
+	}()
+	Concat()
+}
+
+func TestStringPaperNotation(t *testing.T) {
+	tests := []struct {
+		build *Expr
+		want  string
+	}{
+		{Sym("a"), "a"},
+		{Concat(Sym("a"), Sym("b")), "a b"},
+		{Union(Sym("a"), Sym("b")), "a + b"},
+		{Opt(Sym("a")), "a?"},
+		{Plus(Sym("a")), "a+"},
+		{Star(Sym("a")), "a*"},
+		{Plus(Concat(Opt(Sym("b")), Union(Sym("a"), Sym("c")))), "(b? (a + c))+"},
+		{
+			Concat(Plus(Concat(Plus(Concat(Opt(Sym("b")), Union(Sym("a"), Sym("c")))), Sym("d"))), Sym("e")),
+			"((b? (a + c))+ d)+ e",
+		},
+		{Opt(Plus(Sym("a"))), "(a+)?"},
+		{Concat(Union(Sym("a"), Sym("b")), Sym("c")), "(a + b) c"},
+		{Union(Concat(Sym("a"), Sym("b")), Sym("c")), "a b + c"},
+		{Repeat(Sym("a"), 2, Unbounded), "a{2,}"},
+		{Repeat(Sym("a"), 2, 2), "a{2}"},
+		{Repeat(Sym("a"), 1, 3), "a{1,3}"},
+	}
+	for _, tc := range tests {
+		if got := tc.build.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestDTDString(t *testing.T) {
+	e := Concat(Plus(Concat(Plus(Concat(Opt(Sym("b")), Union(Sym("a"), Sym("c")))), Sym("d"))), Sym("e"))
+	want := "((b?,(a|c))+,d)+,e"
+	if got := e.DTDString(); got != want {
+		t.Errorf("DTDString() = %q, want %q", got, want)
+	}
+}
+
+func TestParsePaperExpressions(t *testing.T) {
+	// Expressions lifted verbatim from the paper.
+	tests := []struct {
+		in   string
+		want *Expr
+	}{
+		{"((b?(a + c))+d)+e",
+			Concat(Plus(Concat(Plus(Concat(Opt(Sym("b")), Union(Sym("a"), Sym("c")))), Sym("d"))), Sym("e"))},
+		{"a(b + c)*d+(e + f)?",
+			Concat(Sym("a"), Star(Union(Sym("b"), Sym("c"))), Plus(Sym("d")), Opt(Union(Sym("e"), Sym("f"))))},
+		{"a1+ + (a2?a3+)",
+			Union(Plus(Sym("a1")), Concat(Opt(Sym("a2")), Plus(Sym("a3"))))},
+		{"(a1 a2? a3?)? a4? (a5 + a18)*",
+			Concat(Opt(Concat(Sym("a1"), Opt(Sym("a2")), Opt(Sym("a3")))), Opt(Sym("a4")), Star(Union(Sym("a5"), Sym("a18"))))},
+		{"a1 (a2 + a3)* (a4 (a2x + a3x + a5)*)*",
+			Concat(Sym("a1"), Star(Union(Sym("a2"), Sym("a3"))), Star(Concat(Sym("a4"), Star(Union(Sym("a2x"), Sym("a3x"), Sym("a5"))))))},
+		{"authors,citation,(volume|month),year,pages?,(title|description)?,xrefs?",
+			Concat(Sym("authors"), Sym("citation"), Union(Sym("volume"), Sym("month")), Sym("year"),
+				Opt(Sym("pages")), Opt(Union(Sym("title"), Sym("description"))), Opt(Sym("xrefs")))},
+		{"a=b + c", Union(Sym("a"), Sym("c"))}, // '=' is not a symbol rune... see below
+	}
+	// Drop the last malformed case; it documents that '=' is rejected.
+	tests = tests[:len(tests)-1]
+	for _, tc := range tests {
+		got, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", tc.in, err)
+			continue
+		}
+		if !Equal(got, tc.want) {
+			t.Errorf("Parse(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, in := range []string{"", "(", "a)", "(a", "a +", "+a", "a ++ b", "a{", "a{x}", "a{3,1}", "a=b", "?",
+		"a,,b", "a,"} {
+		if e, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %s, want error", in, e)
+		}
+	}
+}
+
+func TestParseUnicodeStar(t *testing.T) {
+	e, err := Parse("a∗b")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !Equal(e, Concat(Star(Sym("a")), Sym("b"))) {
+		t.Errorf("got %s", e)
+	}
+}
+
+func TestParsePostfixVsUnionPlus(t *testing.T) {
+	// Tight + after an operand is postfix; spaced or leading + is union.
+	e := MustParse("(a + b)+c")
+	want := Concat(Plus(Union(Sym("a"), Sym("b"))), Sym("c"))
+	if !Equal(e, want) {
+		t.Errorf("got %s, want %s", e, want)
+	}
+	e = MustParse("a + b+")
+	want = Union(Sym("a"), Plus(Sym("b")))
+	if !Equal(e, want) {
+		t.Errorf("got %s, want %s", e, want)
+	}
+}
+
+func TestParseRepeatBounds(t *testing.T) {
+	if e := MustParse("a{2,}"); !Equal(e, Repeat(Sym("a"), 2, Unbounded)) {
+		t.Errorf("got %s", e)
+	}
+	if e := MustParse("a{3}"); !Equal(e, Repeat(Sym("a"), 3, 3)) {
+		t.Errorf("got %s", e)
+	}
+	if e := MustParse("a{1,4}"); !Equal(e, Repeat(Sym("a"), 1, 4)) {
+		t.Errorf("got %s", e)
+	}
+}
+
+func TestRoundTripFixed(t *testing.T) {
+	for _, in := range []string{
+		"((b? (a + c))+ d)+ e",
+		"a1* a2? a3*",
+		"a1+ + a2? a3+",
+		"(a + b) (c + d)?",
+		"a{2,} b{1,3}",
+		"((a|b),c)+,d?",
+	} {
+		e1 := MustParse(in)
+		e2 := MustParse(e1.String())
+		e3 := MustParse(e1.DTDString())
+		if !Equal(e1, e2) {
+			t.Errorf("paper round trip of %q: %s != %s", in, e1, e2)
+		}
+		if !Equal(e1, e3) {
+			t.Errorf("DTD round trip of %q: %s != %s", in, e1, e3)
+		}
+	}
+}
+
+func TestSymbolsAndOccurrences(t *testing.T) {
+	e := MustParse("a (a + b)* c")
+	syms := e.Symbols()
+	if len(syms) != 3 || syms[0] != "a" || syms[1] != "b" || syms[2] != "c" {
+		t.Errorf("Symbols = %v", syms)
+	}
+	occ := e.SymbolOccurrences()
+	if occ["a"] != 2 || occ["b"] != 1 || occ["c"] != 1 {
+		t.Errorf("occurrences = %v", occ)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	// ((b?(a+c))+d)+e: 5 symbols, ?, two +, one inner union (1), three concats
+	// at two binary nodes... count: symbols=5, opt=1, plus=2, union(2 subs)=1,
+	// concat(b?,(a+c))=1, concat(x,d)=1, concat(y,e)=1 => 12.
+	e := MustParse("((b?(a + c))+d)+e")
+	if got := e.Tokens(); got != 12 {
+		t.Errorf("Tokens = %d, want 12", got)
+	}
+	if got := Sym("a").Tokens(); got != 1 {
+		t.Errorf("Tokens(a) = %d", got)
+	}
+}
+
+func TestNullable(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"a", false},
+		{"a?", true},
+		{"a*", true},
+		{"a+", false},
+		{"a? b?", true},
+		{"a? b", false},
+		{"a + b?", true},
+		{"(a+)?", true},
+		{"a{0,3}", true},
+		{"a{2,}", false},
+	}
+	for _, tc := range tests {
+		if got := MustParse(tc.in).Nullable(); got != tc.want {
+			t.Errorf("Nullable(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFirstLastSymbols(t *testing.T) {
+	e := MustParse("((b?(a + c))+d)+e")
+	first := e.FirstSymbols()
+	if len(first) != 3 || first[0] != "a" || first[1] != "b" || first[2] != "c" {
+		t.Errorf("FirstSymbols = %v", first)
+	}
+	last := e.LastSymbols()
+	if len(last) != 1 || last[0] != "e" {
+		t.Errorf("LastSymbols = %v", last)
+	}
+}
+
+func TestFollowPairsMatchesPaperSection4(t *testing.T) {
+	// Section 4: for r = (a+b)+c, S_r = {ab, aa, ba, bb, ac, bc}.
+	e := MustParse("(a + b)+c")
+	got := e.FollowPairs()
+	want := [][2]string{{"a", "b"}, {"a", "a"}, {"b", "a"}, {"b", "b"}, {"a", "c"}, {"b", "c"}}
+	if len(got) != len(want) {
+		t.Fatalf("FollowPairs = %v, want %v", got, want)
+	}
+	for _, p := range want {
+		if !got[p] {
+			t.Errorf("missing 2-gram %v", p)
+		}
+	}
+}
+
+func TestIsDeterministic(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"((b?(a + c))+d)+e", true},
+		{"a (a + b)*", true}, // the paper's non-SORE example; still 1-unambiguous
+		{"(a + b)* a", false},
+		{"a? a", false},
+		{"a b a", false}, // two a-positions, but deterministic? follow(b)={a3}, first={a1}: deterministic
+	}
+	// Correct the last expectation: "a b a" is deterministic (no competing
+	// positions share a Follow or First set).
+	tests[len(tests)-1].want = true
+	for _, tc := range tests {
+		if got := MustParse(tc.in).IsDeterministic(); got != tc.want {
+			t.Errorf("IsDeterministic(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIsSORE(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"((b?(a + c))+d)+e", true},
+		{"a (a + b)*", false},
+		{"a1? a2 a3? a4? ((a5+) + ((a6 + a7)+ a8*))", true},
+		{"a", true},
+	}
+	for _, tc := range tests {
+		if got := MustParse(tc.in).IsSORE(); got != tc.want {
+			t.Errorf("IsSORE(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIsCHARE(t *testing.T) {
+	tests := []struct {
+		in   string
+		want bool
+	}{
+		{"a (b + c)* d+ (e + f)?", true},
+		{"(a b + c)*", false},
+		{"(a* + b?)*", false},
+		{"((b?(a + c))+d)+e", false}, // SORE but not CHARE
+		{"a1* a2? a3*", true},
+		{"a", true},
+		{"(a + b)+", true},
+		{"(a + b) (a + c)", false}, // repeats a: not a SORE
+	}
+	for _, tc := range tests {
+		if got := MustParse(tc.in).IsCHARE(); got != tc.want {
+			t.Errorf("IsCHARE(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestChainFactors(t *testing.T) {
+	e := MustParse("a (b + c)* d+")
+	fs, ok := e.ChainFactors()
+	if !ok || len(fs) != 3 {
+		t.Fatalf("ChainFactors = %v, %v", fs, ok)
+	}
+	if _, ok := MustParse("((b?(a + c))+d)+e").ChainFactors(); ok {
+		t.Error("non-CHARE should not decompose")
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"(a+)?", "a*"},
+		{"(a?)+", "a*"},
+		{"(a+)+", "a+"},
+		{"a??", "a?"},
+		{"(a*)*", "a*"},
+		{"((a+)?)+", "a*"},
+		{"(a? b?)?", "a? b?"}, // ? on nullable operand is dropped
+		{"(a? b?)+", "(a? b?)+"},
+		{"a + a", "a"},
+		{"a{1}", "a"},
+		{"a{0,1}", "a?"},
+		{"a{1,}", "a+"},
+		{"a{0,}", "a*"},
+		{"a{2,4}", "a{2,4}"},
+	}
+	for _, tc := range tests {
+		got := Simplify(MustParse(tc.in))
+		if got.String() != tc.want {
+			t.Errorf("Simplify(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestExpandRepeats(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"a{2,}", "a a+"},
+		{"a{2}", "a a"},
+		{"a{2,4}", "a a a? a?"},
+		{"a{1,2}", "a a?"},
+		{"a{0,}", "a*"},
+		{"b a{2,} c", "b a a+ c"},
+	}
+	for _, tc := range tests {
+		got := ExpandRepeats(MustParse(tc.in))
+		if got.String() != tc.want {
+			t.Errorf("ExpandRepeats(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEqualModuloUnionOrder(t *testing.T) {
+	a := MustParse("(a + b + c)+ d")
+	b := MustParse("(c + a + b)+ d")
+	if !EqualModuloUnionOrder(a, b) {
+		t.Error("union order should not matter")
+	}
+	c := MustParse("(a + b)+ d")
+	if EqualModuloUnionOrder(a, c) {
+		t.Error("different unions must differ")
+	}
+	if !EqualModuloUnionOrder(MustParse("a (b + c) + d"), MustParse("d + a (c + b)")) {
+		t.Error("nested and top-level unions should sort")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := MustParse("(a + b)+ c")
+	c := e.Clone()
+	if !Equal(e, c) {
+		t.Fatal("clone differs")
+	}
+	c.Subs[0].Subs[0].Name = "z"
+	if Equal(e, c) {
+		t.Fatal("clone shares nodes with original")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if d := Sym("a").Depth(); d != 1 {
+		t.Errorf("Depth(a) = %d", d)
+	}
+	if d := MustParse("((b?(a + c))+d)+e").Depth(); d != 7 {
+		t.Errorf("Depth = %d, want 7", d)
+	}
+}
+
+func TestSimplifyIdempotentQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	alpha := []string{"a", "b", "c", "d"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExprLocal(r, alpha, 4)
+		s1 := Simplify(e)
+		s2 := Simplify(s1)
+		return Equal(s1, s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyPreservesSymbolsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	alpha := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExprLocal(r, alpha, 4)
+		s := Simplify(e)
+		// Simplification may drop duplicated union branches but never an
+		// entire symbol's occurrences... it can: a + a -> a. What must hold
+		// is that the symbol SET is preserved (no symbol disappears, none
+		// appears).
+		got, want := s.Symbols(), e.Symbols()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokensPositiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExprLocal(r, []string{"a", "b"}, 5)
+		return e.Tokens() >= 1 && e.Depth() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

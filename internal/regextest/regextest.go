@@ -1,0 +1,168 @@
+// Package regextest provides deterministic random generators of regular
+// expressions and sample strings, shared by the property-based tests of the
+// inference packages.
+package regextest
+
+import (
+	"math/rand"
+
+	"dtdinfer/internal/regex"
+)
+
+// RandomExpr returns a random expression over the first k symbols of
+// alphabet with at most the given depth. Symbols may repeat, so the result
+// is not necessarily a SORE.
+func RandomExpr(rng *rand.Rand, alphabet []string, depth int) *regex.Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return regex.Sym(alphabet[rng.Intn(len(alphabet))])
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return regex.Opt(RandomExpr(rng, alphabet, depth-1))
+	case 1:
+		return regex.Plus(RandomExpr(rng, alphabet, depth-1))
+	case 2:
+		return regex.Star(RandomExpr(rng, alphabet, depth-1))
+	case 3:
+		n := 2 + rng.Intn(2)
+		subs := make([]*regex.Expr, n)
+		for i := range subs {
+			subs[i] = RandomExpr(rng, alphabet, depth-1)
+		}
+		return regex.Concat(subs...)
+	default:
+		n := 2 + rng.Intn(2)
+		subs := make([]*regex.Expr, n)
+		for i := range subs {
+			subs[i] = RandomExpr(rng, alphabet, depth-1)
+		}
+		return regex.Union(subs...)
+	}
+}
+
+// RandomSORE returns a random single occurrence expression over a random
+// non-empty subset of the alphabet: each symbol is used at most once.
+func RandomSORE(rng *rand.Rand, alphabet []string, depth int) *regex.Expr {
+	perm := rng.Perm(len(alphabet))
+	n := 1 + rng.Intn(len(alphabet))
+	syms := make([]string, n)
+	for i := 0; i < n; i++ {
+		syms[i] = alphabet[perm[i]]
+	}
+	e, _ := buildSORE(rng, syms, depth)
+	return e
+}
+
+func buildSORE(rng *rand.Rand, syms []string, depth int) (*regex.Expr, []string) {
+	if len(syms) == 1 || depth <= 0 {
+		e := regex.Sym(syms[0])
+		rest := syms[1:]
+		return wrapRandomQuant(rng, e), rest
+	}
+	switch rng.Intn(5) {
+	case 0, 1: // concat
+		n := 2 + rng.Intn(2)
+		var subs []*regex.Expr
+		rest := syms
+		for i := 0; i < n && len(rest) > 0; i++ {
+			var e *regex.Expr
+			e, rest = buildSORE(rng, rest, depth-1)
+			subs = append(subs, e)
+		}
+		return wrapRandomQuant(rng, regex.Concat(subs...)), rest
+	case 2, 3: // union
+		n := 2 + rng.Intn(2)
+		var subs []*regex.Expr
+		rest := syms
+		for i := 0; i < n && len(rest) > 0; i++ {
+			var e *regex.Expr
+			e, rest = buildSORE(rng, rest, depth-1)
+			subs = append(subs, e)
+		}
+		return wrapRandomQuant(rng, regex.Union(subs...)), rest
+	default:
+		e, rest := buildSORE(rng, syms, depth-1)
+		return wrapRandomQuant(rng, e), rest
+	}
+}
+
+func wrapRandomQuant(rng *rand.Rand, e *regex.Expr) *regex.Expr {
+	switch rng.Intn(6) {
+	case 0:
+		return regex.Opt(e)
+	case 1:
+		return regex.Plus(e)
+	case 2:
+		return regex.Star(e)
+	default:
+		return e
+	}
+}
+
+// RandomCHARE returns a random chain regular expression over a random
+// non-empty subset of the alphabet.
+func RandomCHARE(rng *rand.Rand, alphabet []string) *regex.Expr {
+	perm := rng.Perm(len(alphabet))
+	n := 1 + rng.Intn(len(alphabet))
+	var factors []*regex.Expr
+	i := 0
+	for i < n {
+		k := 1 + rng.Intn(3)
+		if i+k > n {
+			k = n - i
+		}
+		subs := make([]*regex.Expr, k)
+		for j := 0; j < k; j++ {
+			subs[j] = regex.Sym(alphabet[perm[i+j]])
+		}
+		i += k
+		factors = append(factors, wrapRandomQuant(rng, regex.Union(subs...)))
+	}
+	return regex.Concat(factors...)
+}
+
+// Sample draws a random string from L(e). Repetition lengths follow a
+// geometric-ish distribution with the given continuation probability num/den.
+func Sample(rng *rand.Rand, e *regex.Expr, num, den int) []string {
+	var out []string
+	sampleInto(rng, e, num, den, &out)
+	return out
+}
+
+func sampleInto(rng *rand.Rand, e *regex.Expr, num, den int, out *[]string) {
+	switch e.Op {
+	case regex.OpSymbol:
+		*out = append(*out, e.Name)
+	case regex.OpConcat:
+		for _, s := range e.Subs {
+			sampleInto(rng, s, num, den, out)
+		}
+	case regex.OpUnion:
+		sampleInto(rng, e.Subs[rng.Intn(len(e.Subs))], num, den, out)
+	case regex.OpOpt:
+		if rng.Intn(2) == 0 {
+			sampleInto(rng, e.Sub(), num, den, out)
+		}
+	case regex.OpPlus:
+		sampleInto(rng, e.Sub(), num, den, out)
+		for rng.Intn(den) < num {
+			sampleInto(rng, e.Sub(), num, den, out)
+		}
+	case regex.OpStar:
+		for rng.Intn(den) < num {
+			sampleInto(rng, e.Sub(), num, den, out)
+		}
+	case regex.OpRepeat:
+		n := e.Min
+		if e.Max == regex.Unbounded {
+			for rng.Intn(den) < num {
+				n++
+			}
+		} else if e.Max > e.Min {
+			n += rng.Intn(e.Max - e.Min + 1)
+		}
+		for i := 0; i < n; i++ {
+			sampleInto(rng, e.Sub(), num, den, out)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package sampling provides reservoir sampling, the subsampling method the
+// paper uses in Section 8.2 to measure how many example strings each
+// algorithm needs ("generating 200 subsamples using reservoir sampling for
+// each size").
+package sampling
+
+import "math/rand"
+
+// Reservoir draws a uniform random subsample of size k from the population
+// using Vitter's algorithm R. When k >= len(population) a copy of the whole
+// population is returned. The population is not modified.
+func Reservoir[T any](rng *rand.Rand, population []T, k int) []T {
+	if k >= len(population) {
+		return append([]T{}, population...)
+	}
+	out := make([]T, k)
+	copy(out, population[:k])
+	for i := k; i < len(population); i++ {
+		j := rng.Intn(i + 1)
+		if j < k {
+			out[j] = population[i]
+		}
+	}
+	return out
+}
+
+// ReservoirEnsuring draws subsamples until one satisfies the predicate ok,
+// giving up after maxTries and returning the last draw. The paper's
+// methodology "ensures that the subsamples contain all alphabet symbols of
+// the target expressions for fair comparisons"; the predicate expresses
+// that condition.
+func ReservoirEnsuring[T any](rng *rand.Rand, population []T, k int,
+	ok func([]T) bool, maxTries int) []T {
+	var out []T
+	for i := 0; i < maxTries; i++ {
+		out = Reservoir(rng, population, k)
+		if ok(out) {
+			return out
+		}
+	}
+	return out
+}
+
+// CoversAlphabet returns a predicate checking that a subsample of strings
+// mentions every symbol of the alphabet.
+func CoversAlphabet(alphabet []string) func([][]string) bool {
+	return func(sample [][]string) bool {
+		seen := map[string]bool{}
+		for _, w := range sample {
+			for _, s := range w {
+				seen[s] = true
+			}
+		}
+		for _, a := range alphabet {
+			if !seen[a] {
+				return false
+			}
+		}
+		return true
+	}
+}

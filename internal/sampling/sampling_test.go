@@ -1,0 +1,93 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirSizeAndMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pop := make([]int, 100)
+	for i := range pop {
+		pop[i] = i
+	}
+	sub := Reservoir(rng, pop, 10)
+	if len(sub) != 10 {
+		t.Fatalf("size = %d", len(sub))
+	}
+	seen := map[int]bool{}
+	for _, x := range sub {
+		if x < 0 || x >= 100 {
+			t.Fatalf("element %d not from population", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate element %d (sampling without replacement)", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestReservoirWholePopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pop := []int{1, 2, 3}
+	sub := Reservoir(rng, pop, 10)
+	if len(sub) != 3 {
+		t.Fatalf("size = %d", len(sub))
+	}
+	sub[0] = 99
+	if pop[0] == 99 {
+		t.Fatal("Reservoir must copy, not alias")
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 10 elements should appear in a size-5 subsample about half
+	// the time.
+	rng := rand.New(rand.NewSource(3))
+	pop := make([]int, 10)
+	for i := range pop {
+		pop[i] = i
+	}
+	counts := make([]int, 10)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		for _, x := range Reservoir(rng, pop, 5) {
+			counts[x]++
+		}
+	}
+	for i, c := range counts {
+		frac := float64(c) / trials
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("element %d sampled with frequency %.3f, want ~0.5", i, frac)
+		}
+	}
+}
+
+func TestReservoirEnsuring(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pop := [][]string{{"a"}, {"a"}, {"a"}, {"a"}, {"b"}}
+	ok := CoversAlphabet([]string{"a", "b"})
+	hit := 0
+	for i := 0; i < 50; i++ {
+		sub := ReservoirEnsuring(rng, pop, 2, ok, 200)
+		if ok(sub) {
+			hit++
+		}
+	}
+	if hit < 45 {
+		t.Errorf("ReservoirEnsuring rarely satisfied the predicate: %d/50", hit)
+	}
+}
+
+func TestCoversAlphabet(t *testing.T) {
+	ok := CoversAlphabet([]string{"a", "b"})
+	if !ok([][]string{{"a", "b"}}) {
+		t.Error("covering sample rejected")
+	}
+	if ok([][]string{{"a"}}) {
+		t.Error("non-covering sample accepted")
+	}
+	if !CoversAlphabet(nil)([][]string{}) {
+		t.Error("empty alphabet is always covered")
+	}
+}

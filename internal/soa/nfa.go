@@ -1,0 +1,44 @@
+package soa
+
+import "dtdinfer/internal/automata"
+
+// ToNFA converts the SOA to an equivalent NFA over element names (in fact a
+// DFA: an SOA is deterministic by construction, since all edges into a state
+// carry that state's unique symbol). It enables exact language comparisons
+// against regular expressions in tests and experiments.
+func (a *SOA) ToNFA() *automata.NFA {
+	syms := a.Symbols()
+	id := map[string]int{}
+	for i, s := range syms {
+		id[s] = i + 1 // state 0 is the start
+	}
+	n := len(syms) + 1
+	nfa := &automata.NFA{
+		NumStates: n,
+		Accept:    make([]bool, n),
+		Trans:     make([]map[string][]int, n),
+		Alphabet:  syms,
+	}
+	for i := range nfa.Trans {
+		nfa.Trans[i] = map[string][]int{}
+	}
+	nfa.Accept[0] = a.AcceptsEmpty()
+	for _, e := range a.Edges() {
+		from, to := e[0], e[1]
+		if to == Sink {
+			nfa.Accept[id[from]] = true
+			continue
+		}
+		src := 0
+		if from != Source {
+			src = id[from]
+		}
+		nfa.Trans[src][to] = append(nfa.Trans[src][to], id[to])
+	}
+	return nfa
+}
+
+// ToDFA returns the minimal DFA of the SOA's language.
+func (a *SOA) ToDFA() *automata.DFA {
+	return a.ToNFA().Determinize().Minimize()
+}

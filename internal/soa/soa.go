@@ -1,0 +1,395 @@
+// Package soa implements single occurrence automata and the 2T-INF
+// inference algorithm of Garcia and Vidal, as used in Section 4 of the
+// paper. An SOA is an automaton in which every element name labels at most
+// one state; it is fully determined by its sets of initial symbols I, final
+// symbols F and allowed 2-grams S, so 2T-INF reduces to collecting those
+// sets from the sample. Every SORE has an up-to-isomorphism unique SOA
+// (Proposition 1).
+//
+// The SOA additionally records support counts — how many sample strings
+// witnessed each symbol and edge — which back the noise-handling extension
+// of Section 9, and it supports merging for incremental recomputation.
+package soa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dtdinfer/internal/regex"
+)
+
+// Source and Sink are the reserved names of the virtual initial and final
+// states. They cannot be used as element names.
+const (
+	Source = "⊢"
+	Sink   = "⊣"
+)
+
+// SOA is a single occurrence automaton with support counts.
+type SOA struct {
+	syms map[string]bool
+	// edges[a][b] is the number of sample strings witnessing the 2-gram ab;
+	// the virtual Source and Sink appear as endpoints for initial and final
+	// symbols. An edge in the automaton is any pair with count >= 1.
+	edges map[string]map[string]int
+	// symSupport[a] counts sample strings containing a.
+	symSupport map[string]int
+	// emptyCount counts empty sample strings (ε-acceptance).
+	emptyCount int
+	// total counts all sample strings seen.
+	total int
+}
+
+// New returns an empty SOA accepting no strings.
+func New() *SOA {
+	return &SOA{
+		syms:       map[string]bool{},
+		edges:      map[string]map[string]int{},
+		symSupport: map[string]int{},
+	}
+}
+
+// Infer runs 2T-INF on the sample: the result is the canonical SOA whose
+// language is the smallest 2-testable language containing every string.
+func Infer(sample [][]string) *SOA {
+	a := New()
+	for _, w := range sample {
+		a.AddString(w)
+	}
+	return a
+}
+
+// AddString extends the automaton with one sample string, incrementally
+// updating the sets I, F and S and all support counts.
+func (a *SOA) AddString(w []string) {
+	a.total++
+	if len(w) == 0 {
+		a.emptyCount++
+		return
+	}
+	seen := map[string]bool{}
+	for _, s := range w {
+		if s == Source || s == Sink {
+			panic(fmt.Sprintf("soa: reserved symbol %q in sample", s))
+		}
+		a.syms[s] = true
+		if !seen[s] {
+			seen[s] = true
+			a.symSupport[s]++
+		}
+	}
+	a.bump(Source, w[0])
+	for i := 0; i+1 < len(w); i++ {
+		a.bump(w[i], w[i+1])
+	}
+	a.bump(w[len(w)-1], Sink)
+}
+
+func (a *SOA) bump(from, to string) {
+	m := a.edges[from]
+	if m == nil {
+		m = map[string]int{}
+		a.edges[from] = m
+	}
+	m[to]++
+}
+
+// AddEdge inserts an edge with the given support (default use: support 1),
+// creating the endpoint states as needed. It is used by repair rules and by
+// direct automaton construction in tests.
+func (a *SOA) AddEdge(from, to string) {
+	if from != Source {
+		a.syms[from] = true
+	}
+	if to != Sink {
+		a.syms[to] = true
+	}
+	a.bump(from, to)
+}
+
+// RemoveEdge deletes an edge regardless of support.
+func (a *SOA) RemoveEdge(from, to string) {
+	if m := a.edges[from]; m != nil {
+		delete(m, to)
+		if len(m) == 0 {
+			delete(a.edges, from)
+		}
+	}
+}
+
+// HasEdge reports whether the automaton has an edge from one symbol to
+// another; Source and Sink address the virtual states.
+func (a *SOA) HasEdge(from, to string) bool {
+	return a.edges[from][to] > 0
+}
+
+// EdgeSupport returns the number of sample strings witnessing the edge.
+func (a *SOA) EdgeSupport(from, to string) int { return a.edges[from][to] }
+
+// SymbolSupport returns the number of sample strings containing the symbol.
+func (a *SOA) SymbolSupport(s string) int { return a.symSupport[s] }
+
+// Total returns the number of sample strings consumed.
+func (a *SOA) Total() int { return a.total }
+
+// AcceptsEmpty reports whether the empty string is accepted (it was seen in
+// the sample).
+func (a *SOA) AcceptsEmpty() bool { return a.emptyCount > 0 }
+
+// Symbols returns the sorted alphabet of the automaton.
+func (a *SOA) Symbols() []string {
+	out := make([]string, 0, len(a.syms))
+	for s := range a.syms {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Successors returns the sorted successors of a state (possibly including
+// Sink). Pass Source for the initial symbols.
+func (a *SOA) Successors(s string) []string {
+	m := a.edges[s]
+	out := make([]string, 0, len(m))
+	for t, n := range m {
+		if n > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predecessors returns the sorted predecessors of a state (possibly
+// including Source). Pass Sink for the final symbols.
+func (a *SOA) Predecessors(s string) []string {
+	var out []string
+	for f, m := range a.edges {
+		if m[s] > 0 {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InitialSymbols returns the set I of symbols that may start a string.
+func (a *SOA) InitialSymbols() []string {
+	out := a.Successors(Source)
+	return dropVirtual(out)
+}
+
+// FinalSymbols returns the set F of symbols that may end a string.
+func (a *SOA) FinalSymbols() []string {
+	return dropVirtual(a.Predecessors(Sink))
+}
+
+func dropVirtual(ss []string) []string {
+	out := ss[:0]
+	for _, s := range ss {
+		if s != Source && s != Sink {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EdgeCount returns the number of edges, including those from Source and to
+// Sink.
+func (a *SOA) EdgeCount() int {
+	n := 0
+	for _, m := range a.edges {
+		for _, c := range m {
+			if c > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Edges returns every edge (from, to) in deterministic order.
+func (a *SOA) Edges() [][2]string {
+	var out [][2]string
+	for f, m := range a.edges {
+		for t, c := range m {
+			if c > 0 {
+				out = append(out, [2]string{f, t})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Member reports whether the automaton accepts w: the first symbol must be
+// initial, every adjacent pair an edge, and the last symbol final. The empty
+// string is accepted only if it occurred in the sample.
+func (a *SOA) Member(w []string) bool {
+	if len(w) == 0 {
+		return a.AcceptsEmpty()
+	}
+	if !a.HasEdge(Source, w[0]) {
+		return false
+	}
+	for i := 0; i+1 < len(w); i++ {
+		if !a.HasEdge(w[i], w[i+1]) {
+			return false
+		}
+	}
+	return a.HasEdge(w[len(w)-1], Sink)
+}
+
+// Equal reports whether two SOAs accept the same language. Because a
+// 2-testable language is uniquely identified by (I, F, S), this is a
+// structural comparison of edges and ε-acceptance; supports are ignored.
+func (a *SOA) Equal(b *SOA) bool {
+	if a.AcceptsEmpty() != b.AcceptsEmpty() {
+		return false
+	}
+	if len(a.syms) != len(b.syms) {
+		return false
+	}
+	for s := range a.syms {
+		if !b.syms[s] {
+			return false
+		}
+	}
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		return false
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge folds another SOA into a, summing supports. It implements the
+// incremental recomputation of Section 9: infer an SOA for the newly
+// arrived data only, then merge.
+func (a *SOA) Merge(b *SOA) {
+	for s := range b.syms {
+		a.syms[s] = true
+	}
+	for s, n := range b.symSupport {
+		a.symSupport[s] += n
+	}
+	for f, m := range b.edges {
+		for t, c := range m {
+			am := a.edges[f]
+			if am == nil {
+				am = map[string]int{}
+				a.edges[f] = am
+			}
+			am[t] += c
+		}
+	}
+	a.emptyCount += b.emptyCount
+	a.total += b.total
+}
+
+// Clone returns a deep copy.
+func (a *SOA) Clone() *SOA {
+	c := New()
+	c.Merge(a)
+	return c
+}
+
+// PruneSupport removes edges whose support is below edgeThreshold and
+// symbols whose support is below symThreshold (together with their incident
+// edges). It implements the basic noise-handling strategy of Section 9.
+func (a *SOA) PruneSupport(symThreshold, edgeThreshold int) {
+	var weak []string
+	for s, n := range a.symSupport {
+		if n < symThreshold {
+			weak = append(weak, s)
+		}
+	}
+	for _, s := range weak {
+		a.removeSymbol(s)
+	}
+	var weakEdges [][2]string
+	for f, m := range a.edges {
+		for t, c := range m {
+			if c < edgeThreshold {
+				weakEdges = append(weakEdges, [2]string{f, t})
+			}
+		}
+	}
+	for _, e := range weakEdges {
+		a.RemoveEdge(e[0], e[1])
+	}
+}
+
+func (a *SOA) removeSymbol(s string) {
+	delete(a.syms, s)
+	delete(a.symSupport, s)
+	delete(a.edges, s)
+	for f, m := range a.edges {
+		delete(m, s)
+		if len(m) == 0 {
+			delete(a.edges, f)
+		}
+	}
+}
+
+// FromExpr returns the SOA of a SORE (its Glushkov automaton, which by
+// Proposition 1 is single occurrence). It panics if e is not a SORE. Edge
+// supports are set to 1.
+func FromExpr(e *regex.Expr) *SOA {
+	if !e.IsSORE() {
+		panic("soa: FromExpr requires a SORE: " + e.String())
+	}
+	a := New()
+	for _, s := range e.FirstSymbols() {
+		a.AddEdge(Source, s)
+	}
+	for _, s := range e.LastSymbols() {
+		a.AddEdge(s, Sink)
+	}
+	for p := range e.FollowPairs() {
+		a.AddEdge(p[0], p[1])
+	}
+	for _, s := range e.Symbols() {
+		a.syms[s] = true
+	}
+	if e.Nullable() {
+		a.emptyCount = 1
+	}
+	return a
+}
+
+// String renders the automaton compactly for debugging and logging.
+func (a *SOA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SOA{I=%v F=%v", a.InitialSymbols(), a.FinalSymbols())
+	var inner []string
+	for _, e := range a.Edges() {
+		if e[0] != Source && e[1] != Sink {
+			inner = append(inner, e[0]+e[1])
+		}
+	}
+	fmt.Fprintf(&b, " S=%v", inner)
+	if a.AcceptsEmpty() {
+		b.WriteString(" +ε")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Representative reports whether the sample that produced a is representative
+// for the SORE r: the SOA inferred from the sample equals the SOA of r
+// (Section 4: a set is representative w.r.t. a SORE when it contains all
+// corresponding 2-grams).
+func (a *SOA) Representative(r *regex.Expr) bool {
+	return a.Equal(FromExpr(r))
+}

@@ -1,0 +1,282 @@
+package xsd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/regex"
+)
+
+// Parse reads an XML Schema document covering the DTD-expressible subset
+// this package emits — top-level element declarations whose complex types
+// are nestings of xs:sequence, xs:choice and xs:element references with
+// minOccurs/maxOccurs, plus mixed content, simpleContent and attributes —
+// and converts it back into a DTD. Together with Generate it provides a
+// lossless round trip for inferred schemas (datatypes collapse to #PCDATA,
+// which is all a DTD can say).
+func Parse(src string) (*dtd.DTD, error) {
+	var schema xsdSchema
+	if err := xml.Unmarshal([]byte(src), &schema); err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	if len(schema.Elements) == 0 {
+		return nil, fmt.Errorf("xsd: no top-level element declarations")
+	}
+	d := dtd.New(schema.Elements[0].Name)
+	for _, el := range schema.Elements {
+		e, err := convertElement(el)
+		if err != nil {
+			return nil, err
+		}
+		d.Declare(e)
+		for _, a := range collectAttributes(el.ComplexType) {
+			d.DeclareAttribute(el.Name, a)
+		}
+	}
+	return d, nil
+}
+
+type xsdSchema struct {
+	XMLName  xml.Name     `xml:"schema"`
+	Elements []xsdElement `xml:"element"`
+}
+
+type xsdElement struct {
+	Name        string          `xml:"name,attr"`
+	Ref         string          `xml:"ref,attr"`
+	Type        string          `xml:"type,attr"`
+	MinOccurs   string          `xml:"minOccurs,attr"`
+	MaxOccurs   string          `xml:"maxOccurs,attr"`
+	ComplexType *xsdComplexType `xml:"complexType"`
+}
+
+type xsdComplexType struct {
+	Mixed         string         `xml:"mixed,attr"`
+	Sequence      *xsdParticle   `xml:"sequence"`
+	Choice        *xsdParticle   `xml:"choice"`
+	SimpleContent *xsdSimple     `xml:"simpleContent"`
+	Attributes    []xsdAttribute `xml:"attribute"`
+}
+
+type xsdSimple struct {
+	Extension struct {
+		Base       string         `xml:"base,attr"`
+		Attributes []xsdAttribute `xml:"attribute"`
+	} `xml:"extension"`
+}
+
+type xsdParticle struct {
+	MinOccurs string         `xml:"minOccurs,attr"`
+	MaxOccurs string         `xml:"maxOccurs,attr"`
+	Sequences []xsdParticle  `xml:"sequence"`
+	Choices   []xsdParticle  `xml:"choice"`
+	Elements  []xsdElement   `xml:"element"`
+	order     []particleItem // filled by UnmarshalXML
+	kind      string
+}
+
+// particleItem preserves child order inside a sequence/choice.
+type particleItem struct {
+	particle *xsdParticle
+	element  *xsdElement
+}
+
+// UnmarshalXML keeps the document order of nested particles, which the
+// generic struct decoding would lose (it groups by field).
+func (p *xsdParticle) UnmarshalXML(dec *xml.Decoder, start xml.StartElement) error {
+	p.kind = start.Name.Local
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case "minOccurs":
+			p.MinOccurs = a.Value
+		case "maxOccurs":
+			p.MaxOccurs = a.Value
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "sequence", "choice":
+				child := &xsdParticle{}
+				if err := child.UnmarshalXML(dec, t); err != nil {
+					return err
+				}
+				p.order = append(p.order, particleItem{particle: child})
+			case "element":
+				var el xsdElement
+				if err := dec.DecodeElement(&el, &t); err != nil {
+					return err
+				}
+				p.order = append(p.order, particleItem{element: &el})
+			default:
+				if err := dec.Skip(); err != nil {
+					return err
+				}
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+type xsdAttribute struct {
+	Name       string `xml:"name,attr"`
+	Type       string `xml:"type,attr"`
+	Use        string `xml:"use,attr"`
+	SimpleType *struct {
+		Restriction struct {
+			Base         string `xml:"base,attr"`
+			Enumerations []struct {
+				Value string `xml:"value,attr"`
+			} `xml:"enumeration"`
+		} `xml:"restriction"`
+	} `xml:"simpleType"`
+}
+
+func convertElement(el xsdElement) (*dtd.Element, error) {
+	name := el.Name
+	switch {
+	case el.ComplexType == nil && el.Type != "":
+		if el.Type == "xs:anyType" {
+			return &dtd.Element{Name: name, Type: dtd.Any}, nil
+		}
+		return &dtd.Element{Name: name, Type: dtd.PCData}, nil
+	case el.ComplexType == nil:
+		return &dtd.Element{Name: name, Type: dtd.Empty}, nil
+	}
+	ct := el.ComplexType
+	switch {
+	case ct.SimpleContent != nil:
+		return &dtd.Element{Name: name, Type: dtd.PCData}, nil
+	case ct.Mixed == "true":
+		var names []string
+		if ct.Choice != nil {
+			for _, item := range ct.Choice.order {
+				if item.element != nil {
+					names = append(names, refName(item.element))
+				}
+			}
+		}
+		sort.Strings(names)
+		return &dtd.Element{Name: name, Type: dtd.Mixed, MixedNames: names}, nil
+	case ct.Sequence == nil && ct.Choice == nil:
+		return &dtd.Element{Name: name, Type: dtd.Empty}, nil
+	}
+	var model *regex.Expr
+	var err error
+	if ct.Sequence != nil {
+		model, err = convertParticle(ct.Sequence)
+	} else {
+		model, err = convertParticle(ct.Choice)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("xsd: element %s: %w", name, err)
+	}
+	return &dtd.Element{Name: name, Type: dtd.Children, Model: regex.Simplify(model)}, nil
+}
+
+func refName(el *xsdElement) string {
+	if el.Ref != "" {
+		return el.Ref
+	}
+	return el.Name
+}
+
+func convertParticle(p *xsdParticle) (*regex.Expr, error) {
+	var subs []*regex.Expr
+	for _, item := range p.order {
+		var e *regex.Expr
+		var err error
+		switch {
+		case item.particle != nil:
+			e, err = convertParticle(item.particle)
+		case item.element != nil:
+			e = regex.Sym(refName(item.element))
+			e, err = applyOccurs(e, item.element.MinOccurs, item.element.MaxOccurs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, e)
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("empty %s particle", p.kind)
+	}
+	var out *regex.Expr
+	if p.kind == "choice" {
+		out = regex.Union(subs...)
+	} else {
+		out = regex.Concat(subs...)
+	}
+	return applyOccurs(out, p.MinOccurs, p.MaxOccurs)
+}
+
+func applyOccurs(e *regex.Expr, minStr, maxStr string) (*regex.Expr, error) {
+	min, max := 1, 1
+	var err error
+	if minStr != "" {
+		if min, err = strconv.Atoi(minStr); err != nil {
+			return nil, fmt.Errorf("bad minOccurs %q", minStr)
+		}
+	}
+	switch {
+	case maxStr == "unbounded":
+		max = regex.Unbounded
+	case maxStr != "":
+		if max, err = strconv.Atoi(maxStr); err != nil {
+			return nil, fmt.Errorf("bad maxOccurs %q", maxStr)
+		}
+	}
+	switch {
+	case min == 1 && max == 1:
+		return e, nil
+	case min == 0 && max == 1:
+		return regex.Opt(e), nil
+	case min == 1 && max == regex.Unbounded:
+		return regex.Plus(e), nil
+	case min == 0 && max == regex.Unbounded:
+		return regex.Star(e), nil
+	default:
+		return regex.Repeat(e, min, max), nil
+	}
+}
+
+func collectAttributes(ct *xsdComplexType) []*dtd.Attribute {
+	if ct == nil {
+		return nil
+	}
+	atts := ct.Attributes
+	if ct.SimpleContent != nil {
+		atts = append(atts, ct.SimpleContent.Extension.Attributes...)
+	}
+	var out []*dtd.Attribute
+	for _, xa := range atts {
+		a := &dtd.Attribute{Name: xa.Name, Required: xa.Use == "required"}
+		switch {
+		case xa.SimpleType != nil && len(xa.SimpleType.Restriction.Enumerations) > 0:
+			a.Type = dtd.Enumerated
+			for _, v := range xa.SimpleType.Restriction.Enumerations {
+				a.Values = append(a.Values, v.Value)
+			}
+			sort.Strings(a.Values)
+		case xa.Type == "xs:ID":
+			a.Type = dtd.ID
+		case xa.Type == "xs:IDREF":
+			a.Type = dtd.IDREF
+		case xa.Type == "xs:NMTOKEN":
+			a.Type = dtd.NMTOKEN
+		default:
+			a.Type = dtd.CDATA
+		}
+		out = append(out, a)
+	}
+	return out
+}

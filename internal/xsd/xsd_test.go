@@ -1,0 +1,141 @@
+package xsd
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"dtdinfer/internal/dtd"
+)
+
+func TestGenerateWellFormedAndComplete(t *testing.T) {
+	d := dtd.MustParse(`<!DOCTYPE db [
+<!ELEMENT db (entry+)>
+<!ELEMENT entry (name,score*,(volume|month),note?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT score (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ELEMENT note (#PCDATA|b)*>
+<!ELEMENT b EMPTY>
+]>`)
+	out := Generate(d, map[string][]string{
+		"score":  {"1", "2", "33"},
+		"volume": {"12.5", "13.0"},
+		"month":  {"jan", "feb"},
+		"name":   {"hello world"},
+	})
+	// Must be well-formed XML.
+	if err := xml.Unmarshal([]byte(out), new(interface{})); err != nil {
+		t.Fatalf("generated XSD is not well-formed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`<xs:element name="db">`,
+		`<xs:sequence>`,
+		`<xs:element ref="entry" maxOccurs="unbounded"/>`,
+		`<xs:element ref="score" minOccurs="0" maxOccurs="unbounded"/>`,
+		`<xs:choice>`,
+		`<xs:element ref="note" minOccurs="0"/>`,
+		`<xs:element name="score" type="xs:integer"/>`,
+		`<xs:element name="volume" type="xs:decimal"/>`,
+		`<xs:element name="month" type="xs:NMTOKEN"/>`,
+		`<xs:element name="name" type="xs:string"/>`,
+		`<xs:complexType mixed="true">`,
+		`<xs:complexType/>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XSD missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateNumericBounds(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT seq (a{2},b{2,})> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>`)
+	out := Generate(d, nil)
+	if !strings.Contains(out, `<xs:element ref="a" minOccurs="2" maxOccurs="2"/>`) {
+		t.Errorf("missing a{2} bounds:\n%s", out)
+	}
+	if !strings.Contains(out, `<xs:element ref="b" minOccurs="2" maxOccurs="unbounded"/>`) {
+		t.Errorf("missing b{2,} bounds:\n%s", out)
+	}
+}
+
+func TestDetectType(t *testing.T) {
+	tests := []struct {
+		values []string
+		want   string
+	}{
+		{nil, "xs:string"},
+		{[]string{"1", "42", "-7"}, "xs:integer"},
+		{[]string{"1.5", "2"}, "xs:decimal"},
+		{[]string{"true", "false"}, "xs:boolean"},
+		{[]string{"2006-09-12", "2006-09-15"}, "xs:date"},
+		{[]string{"12:30:00"}, "xs:time"},
+		{[]string{"2006-09-12T12:30:00"}, "xs:dateTime"},
+		{[]string{"abc", "a-b_c.d"}, "xs:NMTOKEN"},
+		{[]string{"hello world"}, "xs:string"},
+		{[]string{"1", "abc"}, "xs:NMTOKEN"},
+		{[]string{"1", "hello world"}, "xs:string"},
+	}
+	for _, tc := range tests {
+		if got := DetectType(tc.values); got != tc.want {
+			t.Errorf("DetectType(%v) = %q, want %q", tc.values, got, tc.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `<!DOCTYPE db [
+<!ELEMENT db (entry+)>
+<!ELEMENT entry (name,score*,(volume|month),note?)>
+<!ATTLIST entry id ID #REQUIRED kind (a|b) #IMPLIED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT score (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT month (#PCDATA)>
+<!ELEMENT note (#PCDATA|b)*>
+<!ELEMENT b EMPTY>
+]>`
+	d := dtd.MustParse(src)
+	out := Generate(d, nil)
+	back, err := Parse(out)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, out)
+	}
+	if !d.Equal(back) {
+		t.Errorf("XSD round trip changed the DTD:\n%s\nvs\n%s", d, back)
+	}
+}
+
+func TestParseNumericBoundsRoundTrip(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT seq (a{2},b{2,})> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>`)
+	back, err := Parse(Generate(d, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Elements["seq"].Model.String(); got != "a{2} b{2,}" {
+		t.Errorf("round-tripped model = %q", got)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse("not xml"); err == nil {
+		t.Error("want error on garbage")
+	}
+	if _, err := Parse(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>`); err == nil {
+		t.Error("want error on empty schema")
+	}
+}
+
+func TestParsePreservesNestedStructureOrder(t *testing.T) {
+	// (a,(b|c),d) must come back in order, not regrouped.
+	d := dtd.MustParse(`<!ELEMENT r (a,(b|c),d)>
+<!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY> <!ELEMENT d EMPTY>`)
+	back, err := Parse(Generate(d, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Elements["r"].Model.DTDString(); got != "a,(b|c),d" {
+		t.Errorf("model = %q", got)
+	}
+}

@@ -1,0 +1,169 @@
+package xtract
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dtdinfer/internal/automata"
+	"dtdinfer/internal/crx"
+	"dtdinfer/internal/datagen"
+	"dtdinfer/internal/regex"
+)
+
+func split(w string) []string {
+	if w == "" {
+		return nil
+	}
+	out := make([]string, len(w))
+	for i, r := range w {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func sample(ws ...string) [][]string {
+	out := make([][]string, len(ws))
+	for i, w := range ws {
+		out[i] = split(w)
+	}
+	return out
+}
+
+func TestXtractCoversSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	alpha := []string{"a", "b", "c", "d"}
+	for i := 0; i < 150; i++ {
+		var ws [][]string
+		nonEmpty := false
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			n := rng.Intn(8)
+			w := make([]string, n)
+			for k := range w {
+				w[k] = alpha[rng.Intn(len(alpha))]
+			}
+			nonEmpty = nonEmpty || n > 0
+			ws = append(ws, w)
+		}
+		if !nonEmpty {
+			continue
+		}
+		e, err := Infer(ws, nil)
+		if err != nil {
+			t.Fatalf("Infer(%v): %v", ws, err)
+		}
+		for _, w := range ws {
+			if !automata.ExprMember(e, w) {
+				t.Fatalf("xtract %s rejects sample string %v", e, w)
+			}
+		}
+	}
+}
+
+func TestXtractRunGeneralization(t *testing.T) {
+	// aaab generalizes the run of a's.
+	e, err := Infer(sample("aaab", "ab", "aab"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !automata.ExprMember(e, split("aaaaab")) {
+		t.Errorf("xtract %s should generalize runs beyond the sample", e)
+	}
+}
+
+func TestXtractBlockRepetition(t *testing.T) {
+	// (ab)(ab)(ab) generalizes to (a b)+ somewhere in the candidate set.
+	e, err := Infer(sample("ababab", "ab"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !automata.ExprMember(e, split("abababab")) {
+		t.Errorf("xtract %s should generalize block repetitions", e)
+	}
+}
+
+// The paper's core observation: xtract output grows with the number of
+// distinct strings (disjunction-heavy), while CRX stays linear in the
+// alphabet.
+func TestXtractGrowsWithSampleWhereCRXStaysConcise(t *testing.T) {
+	target := regex.MustParse("a (b + c + d + e)* f")
+	s := datagen.NewSampler(52)
+	small := datagen.RepresentativeSample(s, target, 30)
+	large := datagen.RepresentativeSample(s, target, 300)
+	eSmall, err := Infer(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eLarge, err := Infer(large, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := crx.Infer(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eLarge.Tokens() <= eSmall.Tokens() {
+		t.Logf("note: xtract large sample tokens %d <= small %d", eLarge.Tokens(), eSmall.Tokens())
+	}
+	if eLarge.Tokens() < 3*cr.Expr.Tokens() {
+		t.Errorf("xtract (%d tokens) should be much larger than CRX (%d tokens): %s",
+			eLarge.Tokens(), cr.Expr.Tokens(), eLarge)
+	}
+	if cr.Expr.String() != "a (b + c + d + e)* f" {
+		t.Errorf("CRX = %s", cr.Expr)
+	}
+}
+
+func TestXtractMaxStrings(t *testing.T) {
+	var ws [][]string
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			ws = append(ws, []string{"a", string(rune('b' + i%20)), string(rune('b' + j%20))})
+		}
+	}
+	_, err := Infer(ws, &Options{MaxStrings: 100})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestXtractExactOnCleanPattern(t *testing.T) {
+	// On small clean repetitive data, xtract can find a compact pattern.
+	e, err := Infer(sample("ab", "aab", "aaab"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"ab", "aab", "aaab", "aaaab"} {
+		if !automata.ExprMember(e, split(w)) {
+			t.Errorf("xtract %s rejects %s", e, w)
+		}
+	}
+}
+
+func TestXtractEmptyHandling(t *testing.T) {
+	if _, err := Infer(nil, nil); err == nil {
+		t.Fatal("want error on empty sample")
+	}
+	e, err := Infer([][]string{nil, {"a"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Nullable() {
+		t.Errorf("result %s must be nullable", e)
+	}
+}
+
+func TestFactorSharedPrefix(t *testing.T) {
+	e := factor([]*regex.Expr{
+		regex.MustParse("a b c"),
+		regex.MustParse("a b d"),
+		regex.MustParse("a b"),
+	})
+	// One shared "a b" prefix with an optional (c + d) tail.
+	if !automata.ExprEquivalent(e, regex.MustParse("a b (c + d)?")) {
+		t.Errorf("factor = %s", e)
+	}
+	if e.SymbolOccurrences()["a"] != 1 {
+		t.Errorf("prefix not factored: %s", e)
+	}
+}

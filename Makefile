@@ -1,0 +1,24 @@
+# Development targets. `make check` is the gate every PR must pass: it
+# vets the tree and runs the full test suite under the race detector, so
+# the concurrent InferDTD worker pool is race-checked on every change.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

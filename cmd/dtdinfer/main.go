@@ -3,10 +3,19 @@
 // Usage:
 //
 //	dtdinfer [-algo idtd|crx|xtract|trang|stateelim] [-format dtd|xsd]
-//	         [-numeric] [-noise N] file.xml [file2.xml ...]
+//	         [-numeric] [-noise N] [-skip-malformed] [-stats]
+//	         [-max-depth N] [-max-tokens N] [-max-names N] [-max-bytes N]
+//	         file.xml [file2.xml ...]
 //
 // With no files, one document is read from standard input. The default
 // algorithm is iDTD; use -algo crx when only a few documents are available.
+//
+// Ingestion is failure-atomic per document. By default a malformed document
+// aborts the run (fail-fast); with -skip-malformed it is recorded, skipped,
+// and inference proceeds over the documents that parsed. The -max-* flags
+// cap decoding resources (0 = unlimited; -hardened applies production-safe
+// defaults), rejecting XML bombs before they exhaust memory. -stats prints
+// the ingestion report and per-element inference timings to standard error.
 package main
 
 import (
@@ -27,6 +36,13 @@ func main() {
 	numeric := flag.Bool("numeric", false, "refine repetitions to {m,n} bounds from the data (Section 9)")
 	noise := flag.Int("noise", 0, "iDTD noise threshold: drop edges supported by at most N strings when stuck")
 	contextK := flag.Int("context", 0, "infer a contextual schema with k ancestor names of typing context (0 = plain DTD)")
+	skipMalformed := flag.Bool("skip-malformed", false, "skip and record documents that fail to parse instead of aborting")
+	stats := flag.Bool("stats", false, "print the ingestion report and per-element inference timings to stderr")
+	hardened := flag.Bool("hardened", false, "apply production-safe decoding caps (overridden by explicit -max-* flags)")
+	maxDepth := flag.Int("max-depth", 0, "cap element nesting depth per document (0 = unlimited)")
+	maxTokens := flag.Int64("max-tokens", 0, "cap XML tokens per document (0 = unlimited)")
+	maxNames := flag.Int("max-names", 0, "cap distinct element names per document (0 = unlimited)")
+	maxBytes := flag.Int64("max-bytes", 0, "cap input bytes per document (0 = unlimited)")
 	flag.Parse()
 
 	algo, err := core.ParseAlgorithm(*algoName)
@@ -36,23 +52,49 @@ func main() {
 	opts := &core.Options{NumericPredicates: *numeric}
 	opts.IDTD.NoiseThreshold = *noise
 
+	ingest := &dtd.IngestOptions{}
+	if *hardened {
+		ingest = dtd.DefaultIngestOptions()
+	}
+	if *maxDepth > 0 {
+		ingest.MaxDepth = *maxDepth
+	}
+	if *maxTokens > 0 {
+		ingest.MaxTokens = *maxTokens
+	}
+	if *maxNames > 0 {
+		ingest.MaxNames = *maxNames
+	}
+	if *maxBytes > 0 {
+		ingest.MaxBytes = *maxBytes
+	}
+	policy := dtd.FailFast
+	if *skipMalformed {
+		policy = dtd.SkipAndRecord
+	}
+
 	if *contextK > 0 {
-		runContextual(*contextK, algo, opts, *format)
+		runContextual(*contextK, algo, opts, *format, ingest, policy, *stats)
 		return
 	}
 
+	docs := openDocs()
+	defer closeDocs(docs)
 	x := dtd.NewExtraction()
-	if flag.NArg() == 0 {
-		if err := x.AddDocument(os.Stdin); err != nil {
-			fatal(fmt.Errorf("stdin: %w", err))
+	report, err := x.AddDocs(docs, ingest, policy)
+	if err != nil {
+		if *stats {
+			fmt.Fprintln(os.Stderr, report)
+		}
+		fatal(err)
+	}
+	d, inferStats, err := core.InferDTDFromExtractionStats(x, algo, opts)
+	if *stats {
+		fmt.Fprintln(os.Stderr, report)
+		if inferStats != nil {
+			fmt.Fprintln(os.Stderr, inferStats)
 		}
 	}
-	for _, name := range flag.Args() {
-		if err := addFile(x, name); err != nil {
-			fatal(err)
-		}
-	}
-	d, err := core.InferDTDFromExtraction(x, algo, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,24 +108,52 @@ func main() {
 	}
 }
 
-// runContextual infers a k-local contextual schema instead of a DTD.
-func runContextual(k int, algo core.Algorithm, opts *core.Options, format string) {
-	x := contextual.NewExtraction(k)
-	add := func(r io.Reader, label string) {
-		if err := x.AddDocument(r); err != nil {
-			fatal(fmt.Errorf("%s: %w", label, err))
-		}
-	}
+// openDocs assembles the labeled inputs: stdin when no files are named.
+func openDocs() []dtd.Doc {
 	if flag.NArg() == 0 {
-		add(os.Stdin, "stdin")
+		return []dtd.Doc{{Label: "stdin", R: os.Stdin}}
 	}
+	docs := make([]dtd.Doc, 0, flag.NArg())
 	for _, name := range flag.Args() {
 		f, err := os.Open(name)
 		if err != nil {
 			fatal(err)
 		}
-		add(f, name)
-		f.Close()
+		docs = append(docs, dtd.Doc{Label: name, R: f})
+	}
+	return docs
+}
+
+func closeDocs(docs []dtd.Doc) {
+	for _, d := range docs {
+		if c, ok := d.R.(io.Closer); ok && d.R != os.Stdin {
+			c.Close()
+		}
+	}
+}
+
+// runContextual infers a k-local contextual schema instead of a DTD, with
+// the same decoding caps and fault-isolation policy as the DTD path.
+func runContextual(k int, algo core.Algorithm, opts *core.Options, format string,
+	ingest *dtd.IngestOptions, policy dtd.ErrorPolicy, stats bool) {
+	docs := openDocs()
+	defer closeDocs(docs)
+	x := contextual.NewExtraction(k)
+	accepted, rejected := 0, 0
+	for _, doc := range docs {
+		if err := x.AddDocumentOptions(doc.R, ingest); err != nil {
+			if policy == dtd.FailFast {
+				fatal(fmt.Errorf("%s: %w", doc.Label, err))
+			}
+			rejected++
+			fmt.Fprintf(os.Stderr, "dtdinfer: skipped %s: %v\n", doc.Label, err)
+			continue
+		}
+		accepted++
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "ingested %d/%d documents (%d rejected)\n",
+			accepted, accepted+rejected, rejected)
 	}
 	s, err := x.InferSchema(core.Inferrer(algo, opts))
 	if err != nil {
@@ -102,18 +172,6 @@ func runContextual(k int, algo core.Algorithm, opts *core.Options, format string
 	default:
 		fatal(fmt.Errorf("unknown format %q (want dtd or xsd)", format))
 	}
-}
-
-func addFile(x *dtd.Extraction, name string) error {
-	f, err := os.Open(name)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := x.AddDocument(io.Reader(f)); err != nil {
-		return fmt.Errorf("%s: %w", name, err)
-	}
-	return nil
 }
 
 func fatal(err error) {

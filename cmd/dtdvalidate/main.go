@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	dtdvalidate -dtd schema.dtd file.xml [file2.xml ...]
+//	dtdvalidate -dtd schema.dtd [-hardened] [-max-depth N] [-max-bytes N]
+//	            file.xml [file2.xml ...]
 //
-// The exit status is 1 when any document is invalid.
+// The exit status is 1 when any document is invalid. The -max-* flags cap
+// decoding resources per document (0 = unlimited; -hardened applies
+// production-safe defaults), so a decoding bomb is reported as malformed
+// instead of exhausting memory.
 package main
 
 import (
@@ -19,10 +23,27 @@ import (
 
 func main() {
 	dtdFile := flag.String("dtd", "", "DTD file to validate against")
+	hardened := flag.Bool("hardened", false, "apply production-safe decoding caps (overridden by explicit -max-* flags)")
+	maxDepth := flag.Int("max-depth", 0, "cap element nesting depth per document (0 = unlimited)")
+	maxTokens := flag.Int64("max-tokens", 0, "cap XML tokens per document (0 = unlimited)")
+	maxBytes := flag.Int64("max-bytes", 0, "cap input bytes per document (0 = unlimited)")
 	flag.Parse()
 	if *dtdFile == "" || flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	ingest := &dtd.IngestOptions{}
+	if *hardened {
+		ingest = dtd.DefaultIngestOptions()
+	}
+	if *maxDepth > 0 {
+		ingest.MaxDepth = *maxDepth
+	}
+	if *maxTokens > 0 {
+		ingest.MaxTokens = *maxTokens
+	}
+	if *maxBytes > 0 {
+		ingest.MaxBytes = *maxBytes
 	}
 	src, err := os.ReadFile(*dtdFile)
 	if err != nil {
@@ -39,7 +60,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		violations, err := v.Validate(f)
+		violations, err := v.ValidateOptions(f, ingest)
 		f.Close()
 		if err != nil {
 			fmt.Printf("%s: malformed: %v\n", name, err)

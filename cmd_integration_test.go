@@ -172,3 +172,87 @@ func TestCLIExperimentsConciseness(t *testing.T) {
 		t.Error("unknown experiment must fail")
 	}
 }
+
+func TestCLIDtdinferSkipMalformedAndStats(t *testing.T) {
+	dir := t.TempDir()
+	good1 := writeFile(t, dir, "g1.xml", `<r><x>1</x><y/></r>`)
+	bad := writeFile(t, dir, "bad.xml", `<r><x>broken</r>`)
+	good2 := writeFile(t, dir, "g2.xml", `<r><x>2</x><x>3</x></r>`)
+
+	// Fail-fast (the default) aborts on the malformed file.
+	out, code := runTool(t, "dtdinfer", "", good1, bad, good2)
+	if code == 0 {
+		t.Fatalf("malformed input must fail by default:\n%s", out)
+	}
+	if !strings.Contains(out, "bad.xml") {
+		t.Errorf("error does not name the failing file:\n%s", out)
+	}
+
+	// Skip-and-record infers from the documents that parsed and reports
+	// the rejection in the stats.
+	out, code = runTool(t, "dtdinfer", "", "-skip-malformed", "-stats", good1, bad, good2)
+	if code != 0 {
+		t.Fatalf("skip-malformed failed (exit %d):\n%s", code, out)
+	}
+	for _, want := range []string{"<!ELEMENT r (x+,y?)>", "ingested 2/3 documents (1 rejected)", "bad.xml", "inferred"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The skipped document does not change the result.
+	clean, code := runTool(t, "dtdinfer", "", good1, good2)
+	if code != 0 || !strings.Contains(out, strings.TrimSpace(clean[:strings.Index(clean, "\n")])) {
+		t.Errorf("skip run diverges from clean run:\n%s\nvs\n%s", out, clean)
+	}
+}
+
+func TestCLIDtdinferDecodingCaps(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	for i := 0; i < 5000; i++ {
+		b.WriteString("<d>")
+	}
+	for i := 0; i < 5000; i++ {
+		b.WriteString("</d>")
+	}
+	deep := writeFile(t, dir, "deep.xml", b.String())
+	out, code := runTool(t, "dtdinfer", "", "-max-depth", "100", deep)
+	if code == 0 || !strings.Contains(out, "depth") {
+		t.Errorf("depth cap not enforced (exit %d):\n%s", code, out)
+	}
+	out, code = runTool(t, "dtdinfer", "", "-max-bytes", "64", deep)
+	if code == 0 || !strings.Contains(out, "bytes") {
+		t.Errorf("byte cap not enforced (exit %d):\n%s", code, out)
+	}
+	// Within caps the document is accepted.
+	if out, code = runTool(t, "dtdinfer", "", "-hardened", deep); code != 0 {
+		t.Errorf("hardened defaults rejected a sane document (exit %d):\n%s", code, out)
+	}
+}
+
+func TestCLIDtdvalidateIDREFAndCaps(t *testing.T) {
+	dir := t.TempDir()
+	schema := writeFile(t, dir, "ref.dtd", `<!DOCTYPE db [
+<!ELEMENT db (rec|ref)*>
+<!ELEMENT rec EMPTY>
+<!ELEMENT ref EMPTY>
+<!ATTLIST rec id ID #REQUIRED>
+<!ATTLIST ref to IDREF #REQUIRED>
+]>`)
+	ok := writeFile(t, dir, "ok.xml", `<db><ref to="a"/><rec id="a"/></db>`)
+	dangling := writeFile(t, dir, "dangling.xml", `<db><rec id="a"/><ref to="zzz"/></db>`)
+	out, code := runTool(t, "dtdvalidate", "", "-dtd", schema, ok)
+	if code != 0 || !strings.Contains(out, "valid") {
+		t.Errorf("forward reference must validate (exit %d):\n%s", code, out)
+	}
+	out, code = runTool(t, "dtdvalidate", "", "-dtd", schema, dangling)
+	if code != 1 || !strings.Contains(out, "does not match any ID") {
+		t.Errorf("dangling IDREF not reported (exit %d):\n%s", code, out)
+	}
+	deep := writeFile(t, dir, "deep.xml",
+		strings.Repeat("<db>", 2000)+strings.Repeat("</db>", 2000))
+	out, code = runTool(t, "dtdvalidate", "", "-dtd", schema, "-max-depth", "50", deep)
+	if code != 1 || !strings.Contains(out, "depth") {
+		t.Errorf("validator depth cap not enforced (exit %d):\n%s", code, out)
+	}
+}

@@ -93,6 +93,52 @@ type Extraction = dtd.Extraction
 // AddDocument and infer with InferDTDFromExtraction.
 func NewExtraction() *Extraction { return dtd.NewExtraction() }
 
+// IngestOptions caps the resources one document may consume during
+// extraction (nesting depth, token count, distinct element names, input
+// bytes) — the XML-bomb defense for untrusted corpora. The zero value
+// applies no limits.
+type IngestOptions = dtd.IngestOptions
+
+// DefaultIngestOptions returns production-safe caps for untrusted inputs.
+func DefaultIngestOptions() *IngestOptions { return dtd.DefaultIngestOptions() }
+
+// ErrLimit matches (with errors.Is) every ingestion cap violation.
+var ErrLimit = dtd.ErrLimit
+
+// LimitError reports which ingestion cap a document violated.
+type LimitError = dtd.LimitError
+
+// ErrorPolicy selects how batch ingestion reacts to a failing document.
+type ErrorPolicy = dtd.ErrorPolicy
+
+const (
+	// FailFast aborts the batch at the first failing document.
+	FailFast = dtd.FailFast
+	// SkipAndRecord records failing documents in the IngestReport and
+	// continues; each failure is rolled back, isolating its fault.
+	SkipAndRecord = dtd.SkipAndRecord
+)
+
+// IngestReport aggregates ingestion counters and per-document errors.
+type IngestReport = dtd.IngestReport
+
+// DocumentError is one document's ingestion failure inside a batch.
+type DocumentError = dtd.DocumentError
+
+// InferStats reports per-element timings from the inference worker pool.
+type InferStats = dtd.InferStats
+
+// InferDTDWithReport ingests the documents under the given caps and
+// fault-isolation policy, infers a DTD, and reports ingestion counters and
+// per-element inference timings. Every AddDocument is failure-atomic, so a
+// skipped document contributes nothing: the batch with a malformed
+// document (under SkipAndRecord) infers the same DTD as the batch without
+// it, with the failure recorded in the report.
+func InferDTDWithReport(docs []io.Reader, algo Algorithm, opts *Options,
+	ingest *IngestOptions, policy ErrorPolicy) (*DTD, *IngestReport, *InferStats, error) {
+	return core.InferDTDReport(docs, algo, opts, ingest, policy)
+}
+
 // Validator checks documents against a DTD.
 type Validator = dtd.Validator
 

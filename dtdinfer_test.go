@@ -217,3 +217,45 @@ func TestContextualSchemaThroughFacade(t *testing.T) {
 		t.Error("XSD emission broken")
 	}
 }
+
+func TestInferDTDWithReportPublicAPI(t *testing.T) {
+	want, err := InferDTD(readers(quickDocs), IDTD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := append(readers(quickDocs[:1]),
+		strings.NewReader(`<library><book><title>bad</library>`))
+	batch = append(batch, readers(quickDocs[1:])...)
+	d, report, stats, err := InferDTDWithReport(batch, IDTD, nil, DefaultIngestOptions(), SkipAndRecord)
+	if err != nil {
+		t.Fatalf("skip policy must not error: %v", err)
+	}
+	if !d.Equal(want) {
+		t.Errorf("DTD with skipped malformed document differs:\n%s\nvs\n%s", d, want)
+	}
+	if report.Accepted != 2 || report.Rejected != 1 || len(report.Errors) != 1 {
+		t.Errorf("report = %+v", report)
+	}
+	if report.Errors[0].Index != 1 {
+		t.Errorf("error index = %d, want 1", report.Errors[0].Index)
+	}
+	if stats == nil || len(stats.PerElement) == 0 {
+		t.Error("missing inference timings")
+	}
+}
+
+func TestIngestOptionsRejectDeepNesting(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 100_000; i++ {
+		b.WriteString("<d>")
+	}
+	// Never closed: the depth cap must fire long before EOF handling.
+	x := NewExtraction()
+	err := x.AddDocumentOptions(strings.NewReader(b.String()), DefaultIngestOptions())
+	if err == nil {
+		t.Fatal("deep nesting must be rejected")
+	}
+	if !strings.Contains(err.Error(), "depth") {
+		t.Errorf("error does not describe the cap: %v", err)
+	}
+}

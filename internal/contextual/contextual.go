@@ -17,6 +17,7 @@ package contextual
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -63,26 +64,85 @@ func NewExtraction(k int) *Extraction {
 	}
 }
 
-// AddDocument parses one XML document and accumulates its sequences.
+// AddDocument parses one XML document and accumulates its sequences. Like
+// dtd.Extraction.AddDocument, the operation is failure-atomic: a document
+// that fails mid-parse leaves the extraction unchanged.
 func (x *Extraction) AddDocument(r io.Reader) error {
-	dec := xml.NewDecoder(r)
+	return x.AddDocumentOptions(r, nil)
+}
+
+// AddDocumentOptions is AddDocument under the resource caps of
+// dtd.IngestOptions (nil applies no limits), rejecting deeply nested or
+// oversized documents with a *dtd.LimitError before they exhaust memory.
+func (x *Extraction) AddDocumentOptions(r io.Reader, opts *dtd.IngestOptions) error {
+	stage := NewExtraction(x.K)
+	if err := stage.extractOne(r, opts); err != nil {
+		return err
+	}
+	x.Merge(stage)
+	return nil
+}
+
+// Merge folds another extraction's observations into x. The contexts of o
+// must have been collected with the same K for the result to be coherent.
+func (x *Extraction) Merge(o *Extraction) {
+	for c, seqs := range o.Sequences {
+		x.Sequences[c] = append(x.Sequences[c], seqs...)
+	}
+	for c, has := range o.HasText {
+		if has {
+			x.HasText[c] = true
+		}
+	}
+	for name, n := range o.Roots {
+		x.Roots[name] += n
+	}
+}
+
+// extractOne runs the decode loop over one document, mutating x directly;
+// AddDocumentOptions runs it on a staging extraction for atomicity.
+func (x *Extraction) extractOne(r io.Reader, opts *dtd.IngestOptions) error {
+	var o dtd.IngestOptions
+	if opts != nil {
+		o = *opts
+	}
+	dec := xml.NewDecoder(dtd.MeterReader(r, o.MaxBytes))
 	type frame struct {
 		name     string
 		ctx      Context
 		children []string
 	}
 	var stack []frame
+	var tokens int64
+	names := map[string]bool{}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			var le *dtd.LimitError
+			if errors.As(err, &le) {
+				return le
+			}
 			return fmt.Errorf("contextual: parsing XML: %w", err)
+		}
+		tokens++
+		if o.MaxTokens > 0 && tokens > o.MaxTokens {
+			return &dtd.LimitError{Limit: "tokens", Max: o.MaxTokens, Offset: dec.InputOffset()}
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if o.MaxDepth > 0 && len(stack) >= o.MaxDepth {
+				return &dtd.LimitError{Limit: "depth", Max: int64(o.MaxDepth), Offset: dec.InputOffset()}
+			}
 			name := t.Name.Local
+			if !names[name] {
+				if o.MaxNames > 0 && len(names) >= o.MaxNames {
+					return &dtd.LimitError{Limit: "names", Max: int64(o.MaxNames), Offset: dec.InputOffset()}
+				}
+				names[name] = true
+			}
 			if len(stack) == 0 {
 				x.Roots[name]++
 			} else {
@@ -336,6 +396,16 @@ func (s *Schema) ToDTD() *dtd.DTD {
 			merged.Model = regex.Simplify(regex.Union(models...))
 		} else if len(models) == 0 && merged.Kind == dtd.Children {
 			merged.Kind = dtd.Empty
+		} else if merged.Kind == dtd.Mixed {
+			// A text-bearing sibling forces mixed content; the element
+			// models contributed by Children-kind siblings survive as
+			// alternatives, not as dropped symbols.
+			for _, m := range models {
+				merged.MixedNames = mergeNames(merged.MixedNames, m.Symbols())
+			}
+			if len(merged.MixedNames) == 0 {
+				merged.Kind = dtd.PCData
+			}
 		}
 		d.Declare(toDTDElement(merged))
 	}

@@ -2,6 +2,9 @@ package contextual
 
 import (
 	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
 	"strings"
 	"testing"
 
@@ -366,5 +369,138 @@ func TestToDTDMergesMixedTypes(t *testing.T) {
 	d := s.ToDTD()
 	if d.Elements["name"].Type != dtd.Mixed {
 		t.Errorf("flattened name should be mixed, got %v", d.Elements["name"].Type)
+	}
+}
+
+func TestToDTDMixedMergeKeepsChildSymbols(t *testing.T) {
+	// name has element content (t) under b but plain text under a. The
+	// flattened mixed model must keep t as an alternative — previously the
+	// Children-kind symbols were dropped, yielding the invalid (#PCDATA|)*.
+	doc := `<s><b><name><t>x</t></name></b><a><name>y</name></a></s>`
+	x := NewExtraction(1)
+	if err := x.AddDocument(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := x.InferSchema(soreInfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.ToDTD()
+	name := d.Elements["name"]
+	if name.Type != dtd.Mixed || len(name.MixedNames) != 1 || name.MixedNames[0] != "t" {
+		t.Errorf("flattened name = %s, want (#PCDATA|t)*", name)
+	}
+	if strings.Contains(d.String(), "|)") {
+		t.Errorf("flattened DTD contains an empty alternative:\n%s", d)
+	}
+}
+
+// snapshotCtx renders the extraction deterministically for atomicity checks.
+func snapshotCtx(x *Extraction) string {
+	var b strings.Builder
+	ctxs := make([]string, 0, len(x.Sequences))
+	for c := range x.Sequences {
+		ctxs = append(ctxs, string(c))
+	}
+	sort.Strings(ctxs)
+	for _, c := range ctxs {
+		fmt.Fprintf(&b, "seq %s:", c)
+		for _, s := range x.Sequences[Context(c)] {
+			fmt.Fprintf(&b, " [%s]", strings.Join(s, ","))
+		}
+		b.WriteByte('\n')
+	}
+	ctxs = ctxs[:0]
+	for c := range x.HasText {
+		ctxs = append(ctxs, string(c))
+	}
+	sort.Strings(ctxs)
+	for _, c := range ctxs {
+		fmt.Fprintf(&b, "text %s=%v\n", c, x.HasText[Context(c)])
+	}
+	roots := make([]string, 0, len(x.Roots))
+	for r := range x.Roots {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	for _, r := range roots {
+		fmt.Fprintf(&b, "root %s=%d\n", r, x.Roots[r])
+	}
+	return b.String()
+}
+
+func TestAddDocumentAtomicOnParseError(t *testing.T) {
+	x := NewExtraction(1)
+	if err := x.AddDocument(strings.NewReader(storeDoc)); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotCtx(x)
+	// Breaks after several well-formed elements.
+	bad := `<store><book><name><title>T</title></name></book><book><oops></store>`
+	if err := x.AddDocument(strings.NewReader(bad)); err == nil {
+		t.Fatal("malformed document must fail")
+	}
+	if after := snapshotCtx(x); after != before {
+		t.Errorf("failed AddDocument mutated the extraction:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	// Truncated document: unbalanced at EOF.
+	if err := x.AddDocument(strings.NewReader(`<store><book>`)); err == nil {
+		t.Fatal("truncated document must fail")
+	}
+	if after := snapshotCtx(x); after != before {
+		t.Errorf("truncated document mutated the extraction")
+	}
+}
+
+func TestAddDocumentOptionsLimits(t *testing.T) {
+	deep := strings.Repeat("<d>", 5000) + strings.Repeat("</d>", 5000)
+	x := NewExtraction(1)
+	err := x.AddDocumentOptions(strings.NewReader(deep), &dtd.IngestOptions{MaxDepth: 100})
+	if !errors.Is(err, dtd.ErrLimit) {
+		t.Fatalf("want ErrLimit, got %v", err)
+	}
+	if len(x.Sequences) != 0 || len(x.Roots) != 0 {
+		t.Error("rejected document leaked state")
+	}
+	for _, opts := range []dtd.IngestOptions{
+		{MaxBytes: 32},
+		{MaxTokens: 16},
+		{MaxNames: 0, MaxDepth: 0, MaxTokens: 0, MaxBytes: 64},
+	} {
+		x := NewExtraction(0)
+		if err := x.AddDocumentOptions(strings.NewReader(deep), &opts); !errors.Is(err, dtd.ErrLimit) {
+			t.Errorf("opts %+v: want ErrLimit, got %v", opts, err)
+		}
+	}
+	// MaxNames: the wide document has 5 distinct names.
+	wide := `<r><a/><b/><c/><d/></r>`
+	x = NewExtraction(1)
+	if err := x.AddDocumentOptions(strings.NewReader(wide), &dtd.IngestOptions{MaxNames: 3}); !errors.Is(err, dtd.ErrLimit) {
+		t.Errorf("names cap not enforced: %v", err)
+	}
+	if err := x.AddDocumentOptions(strings.NewReader(wide), nil); err != nil {
+		t.Errorf("unlimited ingestion failed: %v", err)
+	}
+}
+
+func TestMergeContextual(t *testing.T) {
+	direct := NewExtraction(1)
+	docA := `<store><book><name><title>T</title></name></book></store>`
+	docB := `<store><author><name>plain</name></author></store>`
+	for _, d := range []string{docA, docB} {
+		if err := direct.AddDocument(strings.NewReader(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := NewExtraction(1), NewExtraction(1)
+	if err := a.AddDocument(strings.NewReader(docA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddDocument(strings.NewReader(docB)); err != nil {
+		t.Fatal(err)
+	}
+	a.Merge(b)
+	if snapshotCtx(a) != snapshotCtx(direct) {
+		t.Errorf("merge differs from direct ingestion:\n%s\nvs\n%s", snapshotCtx(a), snapshotCtx(direct))
 	}
 }

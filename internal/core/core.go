@@ -124,9 +124,37 @@ func InferDTD(docs []io.Reader, algo Algorithm, opts *Options) (*dtd.DTD, error)
 	return x.InferDTD(Inferrer(algo, opts))
 }
 
+// InferDTDReport is InferDTD with hardened ingestion: documents are
+// ingested under the resource caps of ingest (nil = unlimited) with
+// per-document fault isolation under the chosen policy, and the returned
+// IngestReport and InferStats carry the ingestion counters, per-document
+// errors and per-element inference timings. Under SkipAndRecord a
+// malformed document is recorded and skipped rather than aborting the
+// batch. The report is non-nil even on error; the stats are non-nil
+// whenever inference ran.
+func InferDTDReport(docs []io.Reader, algo Algorithm, opts *Options,
+	ingest *dtd.IngestOptions, policy dtd.ErrorPolicy) (*dtd.DTD, *dtd.IngestReport, *dtd.InferStats, error) {
+	x := dtd.NewExtraction()
+	report, err := x.AddDocuments(docs, ingest, policy)
+	if err != nil {
+		return nil, report, nil, fmt.Errorf("core: %w", err)
+	}
+	d, stats, err := x.InferDTDStats(Inferrer(algo, opts))
+	if err != nil {
+		return nil, report, stats, err
+	}
+	return d, report, stats, nil
+}
+
 // InferDTDFromExtraction infers a DTD from already-extracted sequences.
 func InferDTDFromExtraction(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, error) {
 	return x.InferDTD(Inferrer(algo, opts))
+}
+
+// InferDTDFromExtractionStats additionally reports per-element inference
+// timings from InferDTD's worker pool.
+func InferDTDFromExtractionStats(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, *dtd.InferStats, error) {
+	return x.InferDTDStats(Inferrer(algo, opts))
 }
 
 // InferXSD infers a DTD from the documents and renders it as an XML Schema

@@ -136,3 +136,78 @@ func TestInferDTDAndXSDFromDocuments(t *testing.T) {
 		t.Error("malformed document must fail for XSD too")
 	}
 }
+
+func TestInferDTDReportSkipPolicy(t *testing.T) {
+	good := func() []io.Reader {
+		return []io.Reader{
+			strings.NewReader(`<r><x>1</x><y/></r>`),
+			strings.NewReader(`<r><x>2</x><x>3</x></r>`),
+		}
+	}
+	want, err := InferDTD(good(), IDTD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []io.Reader{
+		strings.NewReader(`<r><x>1</x><y/></r>`),
+		strings.NewReader(`<r><x>bad</r>`),
+		strings.NewReader(`<r><x>2</x><x>3</x></r>`),
+	}
+	d, report, stats, err := InferDTDReport(docs, IDTD, nil, nil, dtd.SkipAndRecord)
+	if err != nil {
+		t.Fatalf("skip policy must not error: %v", err)
+	}
+	if report.Accepted != 2 || report.Rejected != 1 || len(report.Errors) != 1 {
+		t.Errorf("report = %+v", report)
+	}
+	if stats == nil || len(stats.PerElement) == 0 {
+		t.Errorf("missing inference stats")
+	}
+	if !d.Equal(want) {
+		t.Errorf("DTD with skipped document differs:\n%s\nvs\n%s", d, want)
+	}
+}
+
+func TestInferDTDReportFailFast(t *testing.T) {
+	docs := []io.Reader{
+		strings.NewReader(`<r><x>1</x></r>`),
+		strings.NewReader(`<broken`),
+	}
+	_, report, _, err := InferDTDReport(docs, IDTD, nil, nil, dtd.FailFast)
+	if err == nil {
+		t.Fatal("fail-fast must surface the error")
+	}
+	if report == nil || report.Rejected != 1 {
+		t.Errorf("report = %+v", report)
+	}
+}
+
+func TestInferDTDReportLimits(t *testing.T) {
+	deep := strings.Repeat("<d>", 1000) + strings.Repeat("</d>", 1000)
+	_, report, _, err := InferDTDReport(
+		[]io.Reader{strings.NewReader(deep)}, IDTD, nil,
+		&dtd.IngestOptions{MaxDepth: 10}, dtd.FailFast)
+	if err == nil {
+		t.Fatal("depth cap must reject the document")
+	}
+	if !strings.Contains(err.Error(), "depth") {
+		t.Errorf("error does not name the cap: %v", err)
+	}
+	if report.Rejected != 1 {
+		t.Errorf("report = %+v", report)
+	}
+}
+
+func TestInferDTDFromExtractionStats(t *testing.T) {
+	x := dtd.NewExtraction()
+	if err := x.AddDocument(strings.NewReader(`<r><x>1</x></r>`)); err != nil {
+		t.Fatal(err)
+	}
+	d, stats, err := InferDTDFromExtractionStats(x, CRX, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || stats == nil || stats.Wall <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

@@ -15,8 +15,10 @@ const attrDoc1 = `<db>
   <rec id="r3" kind="book" lang="de"><note>free text &amp; more</note></rec>
 </db>`
 
+// attrDoc2's references resolve within the document itself: ID/IDREF
+// validity is per-document, and the validator now enforces resolution.
 const attrDoc2 = `<db>
-  <rec id="r4" kind="book"><ref to="r1"/></rec>
+  <rec id="r4" kind="book"><ref to="r4"/></rec>
   <rec id="r5" kind="cd" lang="en"><ref to="r4"/></rec>
 </db>`
 

@@ -152,7 +152,7 @@ func (d *DTD) Equal(o *DTD) bool {
 				return false
 			}
 		case Mixed:
-			if strings.Join(e.MixedNames, ",") != strings.Join(oe.MixedNames, ",") {
+			if !equalStrings(e.MixedNames, oe.MixedNames) {
 				return false
 			}
 		}
@@ -162,9 +162,24 @@ func (d *DTD) Equal(o *DTD) bool {
 		for i, a := range e.Attributes {
 			oa := oe.Attributes[i]
 			if a.Name != oa.Name || a.Type != oa.Type || a.Required != oa.Required ||
-				strings.Join(a.Values, "|") != strings.Join(oa.Values, "|") {
+				!equalStrings(a.Values, oa.Values) {
 				return false
 			}
+		}
+	}
+	return true
+}
+
+// equalStrings compares two slices element-wise: joining with a separator
+// would conflate {"a|b"} with {"a","b"} for attribute values that contain
+// the separator themselves.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
 	return true

@@ -214,6 +214,25 @@ func TestDTDEqual(t *testing.T) {
 	}
 }
 
+func TestDTDEqualAttributeValuesElementwise(t *testing.T) {
+	// Joining values with "|" would conflate {"a|b"} with {"a","b"}.
+	mk := func(values []string) *DTD {
+		d := New("r")
+		d.Declare(&Element{Name: "r", Type: Empty})
+		d.DeclareAttribute("r", &Attribute{Name: "k", Type: Enumerated, Values: values})
+		return d
+	}
+	if mk([]string{"a|b"}).Equal(mk([]string{"a", "b"})) {
+		t.Error(`{"a|b"} must not equal {"a","b"}`)
+	}
+	if !mk([]string{"a", "b"}).Equal(mk([]string{"a", "b"})) {
+		t.Error("identical enumerations must be equal")
+	}
+	if mk([]string{"a", "b"}).Equal(mk([]string{"a", "c"})) {
+		t.Error("different enumerations must differ")
+	}
+}
+
 func TestExtractionIgnoresCommentsAndPIs(t *testing.T) {
 	doc := `<?xml version="1.0"?>
 <!-- leading comment -->

@@ -2,12 +2,14 @@ package dtd
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dtdinfer/internal/regex"
 )
@@ -46,25 +48,69 @@ func NewExtraction() *Extraction {
 	}
 }
 
-// AddDocument parses one XML document and accumulates its sequences.
+// AddDocument parses one XML document and accumulates its sequences,
+// without resource caps. The operation is failure-atomic: a document
+// that fails mid-parse leaves the extraction unchanged, so incremental
+// accumulators survive malformed inputs uncorrupted.
 func (x *Extraction) AddDocument(r io.Reader) error {
-	dec := xml.NewDecoder(r)
+	return x.AddDocumentOptions(r, nil)
+}
+
+// docStats counts one document's decoding work for the IngestReport.
+type docStats struct {
+	bytes    int64
+	tokens   int64
+	elements int64
+}
+
+// extractOne runs the decode loop over one document, mutating x directly.
+// Callers that need atomicity (all of them, via AddDocumentOptions and
+// AddDocs) run it on a staging extraction and Merge on success. A nil
+// opts applies no resource caps.
+func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions) (docStats, error) {
+	var o IngestOptions
+	if opts != nil {
+		o = *opts
+	}
+	mr := &meteredReader{r: r, max: o.MaxBytes}
+	dec := xml.NewDecoder(mr)
 	type frame struct {
 		name     string
 		children []string
 	}
 	var stack []frame
+	var stats docStats
+	names := map[string]bool{}
 	for {
 		tok, err := dec.Token()
+		stats.bytes = mr.n
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return fmt.Errorf("dtd: parsing XML: %w", err)
+			var le *LimitError
+			if errors.As(err, &le) {
+				return stats, le
+			}
+			return stats, fmt.Errorf("dtd: parsing XML: %w", err)
+		}
+		stats.tokens++
+		if o.MaxTokens > 0 && stats.tokens > o.MaxTokens {
+			return stats, &LimitError{Limit: "tokens", Max: o.MaxTokens, Offset: dec.InputOffset()}
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			stats.elements++
+			if o.MaxDepth > 0 && len(stack) >= o.MaxDepth {
+				return stats, &LimitError{Limit: "depth", Max: int64(o.MaxDepth), Offset: dec.InputOffset()}
+			}
 			name := t.Name.Local
+			if !names[name] {
+				if o.MaxNames > 0 && len(names) >= o.MaxNames {
+					return stats, &LimitError{Limit: "names", Max: int64(o.MaxNames), Offset: dec.InputOffset()}
+				}
+				names[name] = true
+			}
 			if len(stack) == 0 {
 				x.Roots[name]++
 			} else {
@@ -93,10 +139,10 @@ func (x *Extraction) AddDocument(r io.Reader) error {
 		}
 	}
 	if len(stack) != 0 {
-		return fmt.Errorf("dtd: unbalanced XML document")
+		return stats, fmt.Errorf("dtd: unbalanced XML document")
 	}
 	x.Documents++
-	return nil
+	return stats, nil
 }
 
 // recordAttribute folds one observed attribute value into the statistics.
@@ -153,16 +199,26 @@ type InferFunc = func(sample [][]string) (*regex.Expr, error)
 // different elements are independent and are inferred concurrently; the
 // result is deterministic regardless of scheduling.
 func (x *Extraction) InferDTD(infer InferFunc) (*DTD, error) {
+	d, _, err := x.InferDTDStats(infer)
+	return d, err
+}
+
+// InferDTDStats is InferDTD, additionally reporting per-element inference
+// timings from the worker pool (the stats are valid even when inference
+// of some element fails).
+func (x *Extraction) InferDTDStats(infer InferFunc) (*DTD, *InferStats, error) {
+	start := time.Now()
 	names := make([]string, 0, len(x.Sequences))
 	for n := range x.Sequences {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return nil, fmt.Errorf("dtd: no elements observed")
+		return nil, nil, fmt.Errorf("dtd: no elements observed")
 	}
 	elements := make([]*Element, len(names))
 	errs := make([]error, len(names))
+	timings := make([]ElementTiming, len(names))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, name := range names {
@@ -171,19 +227,26 @@ func (x *Extraction) InferDTD(infer InferFunc) (*DTD, error) {
 		go func(i int, name string) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			t0 := time.Now()
 			elements[i], errs[i] = x.inferElement(name, infer)
+			timings[i] = ElementTiming{
+				Name:      name,
+				Sequences: len(x.Sequences[name]),
+				Duration:  time.Since(t0),
+			}
 		}(i, name)
 	}
 	wg.Wait()
+	stats := &InferStats{Wall: time.Since(start), PerElement: timings}
 	d := New(x.Root())
 	for i, e := range elements {
 		if errs[i] != nil {
-			return nil, errs[i]
+			return nil, stats, errs[i]
 		}
 		d.Declare(e)
 	}
 	x.inferAttributes(d)
-	return d, nil
+	return d, stats, nil
 }
 
 // inferElement derives one element's declaration.

@@ -1,0 +1,319 @@
+package dtd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Ingestion hardening: real-world corpora are large and messy, so the
+// extraction layer must survive truncated, malformed and adversarial
+// documents without corrupting accumulated state or exhausting memory.
+// This file provides the resource caps (IngestOptions), the per-document
+// fault-isolation policies (ErrorPolicy), the batch API (AddDocuments)
+// with its metrics report (IngestReport), and the Merge primitive that
+// makes every AddDocument failure-atomic: documents are staged into a
+// fresh Extraction and committed only on success.
+
+// IngestOptions caps the resources one document may consume during
+// extraction, defending against XML bombs (deeply nested or enormous
+// inputs). The zero value (or a nil pointer) applies no limits; use
+// DefaultIngestOptions for production-safe caps. A violated cap aborts
+// the document with a *LimitError and, by failure-atomicity, leaves the
+// accumulator untouched.
+type IngestOptions struct {
+	// MaxDepth caps element nesting depth (0 = unlimited).
+	MaxDepth int
+	// MaxTokens caps the number of XML tokens per document (0 = unlimited).
+	MaxTokens int64
+	// MaxNames caps the number of distinct element names per document
+	// (0 = unlimited), bounding accumulator growth on adversarial inputs.
+	MaxNames int
+	// MaxBytes caps the bytes read from one document (0 = unlimited).
+	MaxBytes int64
+}
+
+// DefaultIngestOptions returns caps suitable for untrusted inputs:
+// generous enough for any sane document, small enough that a decoding
+// bomb is rejected long before memory pressure.
+func DefaultIngestOptions() *IngestOptions {
+	return &IngestOptions{
+		MaxDepth:  10_000,
+		MaxTokens: 50_000_000,
+		MaxNames:  100_000,
+		MaxBytes:  1 << 30, // 1 GiB
+	}
+}
+
+// ErrLimit matches (with errors.Is) every cap violation.
+var ErrLimit = errors.New("dtd: ingestion limit exceeded")
+
+// LimitError reports which IngestOptions cap a document violated.
+type LimitError struct {
+	// Limit names the violated cap: "depth", "tokens", "names" or "bytes".
+	Limit string
+	// Max is the configured cap.
+	Max int64
+	// Offset is the byte position in the input where the cap was hit.
+	Offset int64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("dtd: input exceeds %s limit %d at offset %d", e.Limit, e.Max, e.Offset)
+}
+
+// Is makes errors.Is(err, ErrLimit) true for every cap violation.
+func (e *LimitError) Is(target error) bool { return target == ErrLimit }
+
+// meteredReader counts bytes and fails the stream once max is exceeded.
+type meteredReader struct {
+	r   io.Reader
+	n   int64
+	max int64 // 0 = unlimited
+}
+
+func (m *meteredReader) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	m.n += int64(n)
+	if m.max > 0 && m.n > m.max {
+		return n, &LimitError{Limit: "bytes", Max: m.max, Offset: m.n}
+	}
+	return n, err
+}
+
+// MeterReader wraps r so that reading more than max bytes fails the
+// stream with a *LimitError (max <= 0 reads without limit). Exported for
+// sibling packages that run their own decode loops under the same caps.
+func MeterReader(r io.Reader, max int64) io.Reader {
+	return &meteredReader{r: r, max: max}
+}
+
+// ErrorPolicy selects how a batch reacts to a failing document.
+type ErrorPolicy int
+
+const (
+	// FailFast aborts the batch at the first failing document. Documents
+	// before it stay committed; the failing one is rolled back.
+	FailFast ErrorPolicy = iota
+	// SkipAndRecord rolls back each failing document, records it in the
+	// IngestReport, and continues with the rest of the batch.
+	SkipAndRecord
+)
+
+func (p ErrorPolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case SkipAndRecord:
+		return "skip-and-record"
+	}
+	return fmt.Sprintf("ErrorPolicy(%d)", int(p))
+}
+
+// DocumentError is one document's ingestion failure.
+type DocumentError struct {
+	// Index is the document's position in the batch.
+	Index int
+	// Label identifies the document (a file name, or "document N").
+	Label string
+	// Err is the underlying parse or limit error.
+	Err error
+}
+
+func (e *DocumentError) Error() string { return fmt.Sprintf("%s: %v", e.Label, e.Err) }
+
+func (e *DocumentError) Unwrap() error { return e.Err }
+
+// IngestReport aggregates counters and per-document errors from a batch.
+type IngestReport struct {
+	// Documents counts documents attempted.
+	Documents int
+	// Accepted counts documents committed into the extraction.
+	Accepted int
+	// Rejected counts documents rolled back.
+	Rejected int
+	// Bytes counts input bytes consumed (including rejected documents, up
+	// to their point of failure).
+	Bytes int64
+	// Tokens counts XML tokens decoded from accepted documents.
+	Tokens int64
+	// Elements counts start-element tokens in accepted documents.
+	Elements int64
+	// Errors lists one entry per rejected document.
+	Errors []*DocumentError
+}
+
+// Err returns the first per-document error (nil when all were accepted).
+func (r *IngestReport) Err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	return r.Errors[0]
+}
+
+// String renders a short human-readable summary plus one line per error.
+func (r *IngestReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ingested %d/%d documents (%d rejected), %d bytes, %d tokens, %d elements",
+		r.Accepted, r.Documents, r.Rejected, r.Bytes, r.Tokens, r.Elements)
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "\n  %v", e)
+	}
+	return b.String()
+}
+
+// Doc pairs a reader with a label for error reporting.
+type Doc struct {
+	Label string
+	R     io.Reader
+}
+
+// AddDocumentOptions parses one XML document under the given resource
+// caps and accumulates its observations. The operation is failure-atomic:
+// on any error (malformed XML, unbalanced tags, violated cap) the
+// extraction is left exactly as it was.
+func (x *Extraction) AddDocumentOptions(r io.Reader, opts *IngestOptions) error {
+	stage := NewExtraction()
+	if _, err := stage.extractOne(r, opts); err != nil {
+		return err
+	}
+	x.Merge(stage)
+	return nil
+}
+
+// AddDocuments ingests a batch of documents with per-document fault
+// isolation under the chosen policy, labeling documents by position.
+// The report is never nil. Under SkipAndRecord the error is always nil
+// and failures are only recorded in the report; under FailFast the first
+// failure is returned (and recorded) and later documents are not read.
+func (x *Extraction) AddDocuments(docs []io.Reader, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
+	labeled := make([]Doc, len(docs))
+	for i, r := range docs {
+		labeled[i] = Doc{Label: fmt.Sprintf("document %d", i), R: r}
+	}
+	return x.AddDocs(labeled, opts, policy)
+}
+
+// AddDocs is AddDocuments with caller-supplied labels (file names).
+func (x *Extraction) AddDocs(docs []Doc, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
+	report := &IngestReport{}
+	for i, doc := range docs {
+		report.Documents++
+		stage := NewExtraction()
+		stats, err := stage.extractOne(doc.R, opts)
+		report.Bytes += stats.bytes
+		if err != nil {
+			report.Rejected++
+			derr := &DocumentError{Index: i, Label: doc.Label, Err: err}
+			report.Errors = append(report.Errors, derr)
+			if policy == FailFast {
+				return report, derr
+			}
+			continue
+		}
+		report.Accepted++
+		report.Tokens += stats.tokens
+		report.Elements += stats.elements
+		x.Merge(stage)
+	}
+	return report, nil
+}
+
+// Merge folds another extraction's observations into x, preserving the
+// per-element text-sample and attribute-value caps. Merging staged
+// per-document extractions is exactly how AddDocument commits, so
+// Merge(a); Merge(b) is equivalent to ingesting a's and b's documents
+// directly.
+func (x *Extraction) Merge(o *Extraction) {
+	for name, seqs := range o.Sequences {
+		x.Sequences[name] = append(x.Sequences[name], seqs...)
+	}
+	for name, has := range o.HasText {
+		if has {
+			x.HasText[name] = true
+		}
+	}
+	for name, samples := range o.TextSamples {
+		have := x.TextSamples[name]
+		for _, s := range samples {
+			if len(have) >= maxTextSamples {
+				break
+			}
+			have = append(have, s)
+		}
+		x.TextSamples[name] = have
+	}
+	for elem, atts := range o.Attributes {
+		for att, st := range atts {
+			x.mergeAttStats(elem, att, st)
+		}
+	}
+	for name, n := range o.Roots {
+		x.Roots[name] += n
+	}
+	x.Documents += o.Documents
+}
+
+// mergeAttStats folds one element/attribute statistic into x, honoring
+// the distinct-value cap the per-document recording also enforces.
+func (x *Extraction) mergeAttStats(elem, att string, o *attStats) {
+	atts := x.Attributes[elem]
+	if atts == nil {
+		atts = map[string]*attStats{}
+		x.Attributes[elem] = atts
+	}
+	st := atts[att]
+	if st == nil {
+		st = &attStats{values: map[string]int{}}
+		atts[att] = st
+	}
+	st.present += o.present
+	if o.overflow {
+		st.overflow = true
+	}
+	for v, n := range o.values {
+		if _, seen := st.values[v]; !seen && len(st.values) >= maxAttValues {
+			st.overflow = true
+			continue
+		}
+		st.values[v] += n
+	}
+}
+
+// InferStats reports per-element timings from InferDTDStats' worker pool.
+type InferStats struct {
+	// Wall is the wall-clock time of the whole inference.
+	Wall time.Duration
+	// PerElement holds one entry per inferred element, in the DTD's
+	// deterministic element order.
+	PerElement []ElementTiming
+}
+
+// ElementTiming is one element's inference cost.
+type ElementTiming struct {
+	// Name is the element name.
+	Name string
+	// Sequences is the sample size the content model was inferred from.
+	Sequences int
+	// Duration is the time spent inferring this element's declaration.
+	Duration time.Duration
+}
+
+// String renders the timings, slowest element first.
+func (s *InferStats) String() string {
+	order := make([]ElementTiming, len(s.PerElement))
+	copy(order, s.PerElement)
+	for i := 1; i < len(order); i++ { // insertion sort by duration, desc
+		for j := i; j > 0 && order[j].Duration > order[j-1].Duration; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "inferred %d elements in %v", len(order), s.Wall)
+	for _, t := range order {
+		fmt.Fprintf(&b, "\n  %-24s %8d seqs  %v", t.Name, t.Sequences, t.Duration)
+	}
+	return b.String()
+}

@@ -2,6 +2,7 @@ package dtd
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -11,7 +12,8 @@ import (
 
 // Validator checks XML documents against a DTD, compiling each content
 // model into a DFA once. Attribute declarations are enforced too: required
-// attributes, enumeration membership, and document-wide ID uniqueness.
+// attributes, enumeration membership, document-wide ID uniqueness, and
+// IDREF resolution (every IDREF value must match some ID in the document).
 type Validator struct {
 	dtd  *DTD
 	dfas map[string]*automata.DFA
@@ -32,7 +34,8 @@ func NewValidator(d *DTD) *Validator {
 type Violation struct {
 	// Element is the offending element name.
 	Element string
-	// Line is the decoder's input offset (byte position) of the failure.
+	// Offset is the decoder's input offset of the failure — a byte
+	// position in the document, not a line number.
 	Offset int64
 	// Reason describes the failure.
 	Reason string
@@ -42,11 +45,34 @@ func (v Violation) String() string {
 	return fmt.Sprintf("element %s at offset %d: %s", v.Element, v.Offset, v.Reason)
 }
 
+// idref records one IDREF occurrence for the end-of-document resolution
+// check (IDs may legally be declared after the references to them).
+type idref struct {
+	element   string
+	attribute string
+	value     string
+	offset    int64
+}
+
 // Validate parses one document and returns all violations (nil when the
 // document is valid). A document whose root differs from the DTD's root is
 // a violation; undeclared elements are violations on their parent.
 func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
-	dec := xml.NewDecoder(r)
+	return v.ValidateOptions(r, nil)
+}
+
+// ValidateOptions is Validate with resource caps on the decoder (depth,
+// token and byte limits from IngestOptions; MaxNames is not checked since
+// validation allocates per declared element, not per observed name). A
+// violated cap aborts with a *LimitError, matchable with errors.Is
+// against ErrLimit.
+func (v *Validator) ValidateOptions(r io.Reader, opts *IngestOptions) ([]Violation, error) {
+	var o IngestOptions
+	if opts != nil {
+		o = *opts
+	}
+	mr := &meteredReader{r: r, max: o.MaxBytes}
+	dec := xml.NewDecoder(mr)
 	type frame struct {
 		name     string
 		children []string
@@ -54,7 +80,9 @@ func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
 	}
 	var stack []frame
 	var out []Violation
+	var tokens int64
 	seenIDs := map[string]bool{}
+	var pendingRefs []idref
 	report := func(name, reason string) {
 		out = append(out, Violation{Element: name, Offset: dec.InputOffset(), Reason: reason})
 	}
@@ -64,10 +92,21 @@ func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
 			break
 		}
 		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) {
+				return out, le
+			}
 			return out, fmt.Errorf("dtd: parsing XML: %w", err)
+		}
+		tokens++
+		if o.MaxTokens > 0 && tokens > o.MaxTokens {
+			return out, &LimitError{Limit: "tokens", Max: o.MaxTokens, Offset: dec.InputOffset()}
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if o.MaxDepth > 0 && len(stack) >= o.MaxDepth {
+				return out, &LimitError{Limit: "depth", Max: int64(o.MaxDepth), Offset: dec.InputOffset()}
+			}
 			name := t.Name.Local
 			if len(stack) == 0 && name != v.dtd.Root {
 				report(name, fmt.Sprintf("root is %s, DTD expects %s", name, v.dtd.Root))
@@ -75,7 +114,7 @@ func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
 			if _, ok := v.dtd.Elements[name]; !ok {
 				report(name, "element not declared in DTD")
 			}
-			v.checkAttributes(name, t.Attr, seenIDs, report)
+			pendingRefs = v.checkAttributes(name, t.Attr, seenIDs, pendingRefs, dec.InputOffset(), report)
 			if len(stack) > 0 {
 				stack[len(stack)-1].children = append(stack[len(stack)-1].children, name)
 			}
@@ -92,6 +131,17 @@ func (v *Validator) Validate(r io.Reader) ([]Violation, error) {
 	}
 	if len(stack) != 0 {
 		return out, fmt.Errorf("dtd: unbalanced XML document")
+	}
+	// IDREFs resolve against the full document's ID set.
+	for _, ref := range pendingRefs {
+		if !seenIDs[ref.value] {
+			out = append(out, Violation{
+				Element: ref.element,
+				Offset:  ref.offset,
+				Reason: fmt.Sprintf("IDREF attribute %s value %q does not match any ID in the document",
+					ref.attribute, ref.value),
+			})
+		}
 	}
 	return out, nil
 }
@@ -134,12 +184,15 @@ func (v *Validator) check(name string, children []string, text bool, report func
 
 // checkAttributes validates one start tag's attributes: undeclared names,
 // missing required attributes, enumeration membership, and ID uniqueness
-// within the document.
+// within the document. IDREF values cannot be judged until the whole
+// document's IDs are known, so they are appended to pendingRefs and the
+// updated slice is returned for resolution at end of document.
 func (v *Validator) checkAttributes(name string, attrs []xml.Attr,
-	seenIDs map[string]bool, report func(name, reason string)) {
+	seenIDs map[string]bool, pendingRefs []idref, offset int64,
+	report func(name, reason string)) []idref {
 	e := v.dtd.Elements[name]
 	if e == nil {
-		return
+		return pendingRefs
 	}
 	declared := map[string]*Attribute{}
 	for _, a := range e.Attributes {
@@ -174,6 +227,10 @@ func (v *Validator) checkAttributes(name string, attrs []xml.Attr,
 				report(name, fmt.Sprintf("duplicate ID %q", attr.Value))
 			}
 			seenIDs[attr.Value] = true
+		case IDREF:
+			pendingRefs = append(pendingRefs, idref{
+				element: name, attribute: an, value: attr.Value, offset: offset,
+			})
 		}
 	}
 	for _, a := range e.Attributes {
@@ -181,6 +238,7 @@ func (v *Validator) checkAttributes(name string, attrs []xml.Attr,
 			report(name, fmt.Sprintf("required attribute %s missing", a.Name))
 		}
 	}
+	return pendingRefs
 }
 
 // ValidDocument is a convenience wrapper reporting only whether the

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,16 @@ race:
 
 check: vet race
 
+# bench records the perf-trajectory workloads (Section 8.3 timings, the
+# end-to-end pipeline at several ingestion worker counts, and the isolated
+# sharded-ingestion benchmark) as BENCH_PR2.json via cmd/benchjson.
+BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel
+BENCH_COUNT ?= 3x
+
 bench:
-	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_COUNT) . \
+		| $(GO) run ./cmd/benchjson > BENCH_PR2.json
+
+# bench-smoke is the CI gate: every benchmark must run once without failing.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

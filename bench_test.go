@@ -9,6 +9,7 @@ package dtdinfer
 // short; cmd/experiments reproduces the full 200-trial curves.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"dtdinfer/internal/core"
 	"dtdinfer/internal/corpus"
 	"dtdinfer/internal/datagen"
+	"dtdinfer/internal/dtd"
 	"dtdinfer/internal/experiments"
 	"dtdinfer/internal/idtd"
 	"dtdinfer/internal/regex"
@@ -61,8 +63,10 @@ func split(w string) []string {
 func BenchmarkTable1(b *testing.B) {
 	for _, row := range experiments.Table1 {
 		truth := regex.MustParse(row.CorpusTruth)
+		// One sampler for both branches, so the representative-sample
+		// fallback draws from the same stream as the initial sample.
 		s := datagen.NewSampler(1)
-		sample := datagen.NewSampler(1).SampleN(truth, row.SampleSize)
+		sample := s.SampleN(truth, row.SampleSize)
 		if cover := datagen.EdgeCoverSample(truth); len(cover) <= row.SampleSize {
 			sample = datagen.RepresentativeSample(s, truth, row.SampleSize)
 		}
@@ -167,18 +171,42 @@ func BenchmarkPerfTypical(b *testing.B) {
 }
 
 // BenchmarkEndToEndDTD measures whole-pipeline inference (XML parsing,
-// extraction, per-element inference) on the synthetic Protein corpus.
+// extraction, per-element inference) on the synthetic Protein corpus,
+// once sequentially and once per parallel ingestion worker count. The
+// output is byte-identical across worker counts; only wall clock changes.
 func BenchmarkEndToEndDTD(b *testing.B) {
-	benchCorpus(b, 200)
+	b.Run("seq", func(b *testing.B) { benchCorpus(b, 200, 1) })
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("par%d", workers), func(b *testing.B) {
+			benchCorpus(b, 200, workers)
+		})
+	}
 }
 
-func benchCorpus(b *testing.B, n int) {
+func benchCorpus(b *testing.B, n, workers int) {
 	docs := corpusDocs(n)
+	opts := &Options{Parallelism: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := InferDTD(docs(), IDTD, nil); err != nil {
+		if _, err := InferDTD(docs(), IDTD, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestParallel isolates the sharded ingestion pipeline (XML
+// decoding and extraction, no inference) across worker counts.
+func BenchmarkIngestParallel(b *testing.B) {
+	docs := corpusDocs(400)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x := NewExtraction()
+				if _, err := x.AddDocumentsParallel(docs(), workers, nil, dtd.FailFast); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench` output read from standard
+// input into a JSON array on standard output, one object per benchmark
+// result with the metrics the perf trajectory tracks:
+//
+//	go test -bench 'Perf|EndToEnd|IngestParallel' -benchmem . | benchjson > BENCH_PR2.json
+//
+// Lines that are not benchmark results (the cpu/goos preamble, PASS/ok
+// trailers) are ignored. Custom metrics reported via b.ReportMetric are
+// captured under "metrics".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_op"`
+	BytesPerOp int64              `json:"b_op,omitempty"`
+	AllocsPerOp int64             `json:"allocs_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw stream to stderr so the make target still shows
+		// progress while capturing JSON on stdout.
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "BenchmarkName-8  100  12345 ns/op  67 B/op ..."
+// line; ok is false for anything else.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+			seen = true
+		case "B/op":
+			r.BytesPerOp = int64(val)
+		case "allocs/op":
+			r.AllocsPerOp = int64(val)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, seen
+}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	dtdinfer [-algo idtd|crx|xtract|trang|stateelim] [-format dtd|xsd]
-//	         [-numeric] [-noise N] [-skip-malformed] [-stats]
+//	         [-numeric] [-noise N] [-skip-malformed] [-stats] [-j N]
 //	         [-max-depth N] [-max-tokens N] [-max-names N] [-max-bytes N]
 //	         file.xml [file2.xml ...]
 //
@@ -16,6 +16,8 @@
 // cap decoding resources (0 = unlimited; -hardened applies production-safe
 // defaults), rejecting XML bombs before they exhaust memory. -stats prints
 // the ingestion report and per-element inference timings to standard error.
+// -j shards document decoding across N worker goroutines (0 = GOMAXPROCS);
+// the result is byte-identical at every worker count.
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 	skipMalformed := flag.Bool("skip-malformed", false, "skip and record documents that fail to parse instead of aborting")
 	stats := flag.Bool("stats", false, "print the ingestion report and per-element inference timings to stderr")
 	hardened := flag.Bool("hardened", false, "apply production-safe decoding caps (overridden by explicit -max-* flags)")
+	parallel := flag.Int("j", 0, "ingestion worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	maxDepth := flag.Int("max-depth", 0, "cap element nesting depth per document (0 = unlimited)")
 	maxTokens := flag.Int64("max-tokens", 0, "cap XML tokens per document (0 = unlimited)")
 	maxNames := flag.Int("max-names", 0, "cap distinct element names per document (0 = unlimited)")
@@ -49,7 +52,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := &core.Options{NumericPredicates: *numeric}
+	opts := &core.Options{NumericPredicates: *numeric, Parallelism: *parallel}
 	opts.IDTD.NoiseThreshold = *noise
 
 	ingest := &dtd.IngestOptions{}
@@ -81,7 +84,7 @@ func main() {
 	docs := openDocs()
 	defer closeDocs(docs)
 	x := dtd.NewExtraction()
-	report, err := x.AddDocs(docs, ingest, policy)
+	report, err := x.AddDocsParallel(docs, opts.Parallelism, ingest, policy)
 	if err != nil {
 		if *stats {
 			fmt.Fprintln(os.Stderr, report)

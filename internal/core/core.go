@@ -61,6 +61,11 @@ type Options struct {
 	// NumericPredicates enables the Section 9 post-processing that refines
 	// r+ factors to r{m}/r{m,} bounds from the sample.
 	NumericPredicates bool
+	// Parallelism is the number of worker goroutines used for document
+	// ingestion (XML decoding). 0 selects GOMAXPROCS, 1 forces sequential
+	// ingestion. Results are byte-identical at every setting; see
+	// dtd.AddDocsParallel.
+	Parallelism int
 }
 
 // InferExpr derives a content-model expression from positive example
@@ -112,14 +117,30 @@ func Inferrer(algo Algorithm, opts *Options) dtd.InferFunc {
 	}
 }
 
-// InferDTD extracts element sequences from the given XML documents and
-// infers a complete DTD.
-func InferDTD(docs []io.Reader, algo Algorithm, opts *Options) (*dtd.DTD, error) {
+// ingestAll is the single ingestion pipeline behind every document-level
+// entry point: hardened, fault-isolated, and sharded across workers
+// according to opts.Parallelism. The report is never nil.
+func ingestAll(docs []io.Reader, opts *Options,
+	ingest *dtd.IngestOptions, policy dtd.ErrorPolicy) (*dtd.Extraction, *dtd.IngestReport, error) {
+	workers := 0
+	if opts != nil {
+		workers = opts.Parallelism
+	}
 	x := dtd.NewExtraction()
-	for i, r := range docs {
-		if err := x.AddDocument(r); err != nil {
-			return nil, fmt.Errorf("core: document %d: %w", i, err)
-		}
+	report, err := x.AddDocumentsParallel(docs, workers, ingest, policy)
+	if err != nil {
+		return nil, report, fmt.Errorf("core: %w", err)
+	}
+	return x, report, nil
+}
+
+// InferDTD extracts element sequences from the given XML documents and
+// infers a complete DTD. Ingestion runs through the same sharded,
+// fault-isolated pipeline as InferDTDReport (uncapped, fail-fast).
+func InferDTD(docs []io.Reader, algo Algorithm, opts *Options) (*dtd.DTD, error) {
+	x, _, err := ingestAll(docs, opts, nil, dtd.FailFast)
+	if err != nil {
+		return nil, err
 	}
 	return x.InferDTD(Inferrer(algo, opts))
 }
@@ -134,10 +155,9 @@ func InferDTD(docs []io.Reader, algo Algorithm, opts *Options) (*dtd.DTD, error)
 // whenever inference ran.
 func InferDTDReport(docs []io.Reader, algo Algorithm, opts *Options,
 	ingest *dtd.IngestOptions, policy dtd.ErrorPolicy) (*dtd.DTD, *dtd.IngestReport, *dtd.InferStats, error) {
-	x := dtd.NewExtraction()
-	report, err := x.AddDocuments(docs, ingest, policy)
+	x, report, err := ingestAll(docs, opts, ingest, policy)
 	if err != nil {
-		return nil, report, nil, fmt.Errorf("core: %w", err)
+		return nil, report, nil, err
 	}
 	d, stats, err := x.InferDTDStats(Inferrer(algo, opts))
 	if err != nil {
@@ -160,11 +180,9 @@ func InferDTDFromExtractionStats(x *dtd.Extraction, algo Algorithm, opts *Option
 // InferXSD infers a DTD from the documents and renders it as an XML Schema
 // with datatype detection over the sampled text values (Section 9).
 func InferXSD(docs []io.Reader, algo Algorithm, opts *Options) (string, error) {
-	x := dtd.NewExtraction()
-	for i, r := range docs {
-		if err := x.AddDocument(r); err != nil {
-			return "", fmt.Errorf("core: document %d: %w", i, err)
-		}
+	x, _, err := ingestAll(docs, opts, nil, dtd.FailFast)
+	if err != nil {
+		return "", err
 	}
 	d, err := x.InferDTD(Inferrer(algo, opts))
 	if err != nil {

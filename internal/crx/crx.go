@@ -181,14 +181,12 @@ func newClassGraph(st *State, classes [][]string) *classGraph {
 	for i := range direct {
 		direct[i] = map[int]bool{}
 	}
-	for a, succs := range st.edges {
-		for b := range succs {
-			ca, cb := classOf[a], classOf[b]
-			if ca != cb {
-				direct[ca][cb] = true
-			}
+	st.forEachEdge(func(a, b string) {
+		ca, cb := classOf[a], classOf[b]
+		if ca != cb {
+			direct[ca][cb] = true
 		}
-	}
+	})
 	// Transitive closure on the DAG of classes, then transitive reduction
 	// to obtain the Hasse diagram.
 	reach := make([]map[int]bool, n)
@@ -338,7 +336,7 @@ func (g *classGraph) topoSort(st *State) []int {
 	rank := func(i int) int {
 		best := int(^uint(0) >> 1)
 		for _, s := range g.classes[i] {
-			if r, ok := st.firstSeen[s]; ok && r < best {
+			if r, ok := st.rank(s); ok && r < best {
 				best = r
 			}
 		}

@@ -199,6 +199,18 @@ func (x *Extraction) AddDocuments(docs []io.Reader, opts *IngestOptions, policy 
 // AddDocs is AddDocuments with caller-supplied labels (file names).
 func (x *Extraction) AddDocs(docs []Doc, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
 	report := &IngestReport{}
+	if derr := ingestDocs(x, docs, 0, opts, policy, report); derr != nil {
+		return report, derr
+	}
+	return report, nil
+}
+
+// ingestDocs runs the per-document staging loop into x, labeling errors
+// with baseIndex+i so a shard of a larger batch reports original document
+// positions. It returns the first error under FailFast, nil otherwise.
+// This is the single ingestion loop shared by the sequential and parallel
+// batch APIs (each parallel worker calls it on a private extraction).
+func ingestDocs(x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, policy ErrorPolicy, report *IngestReport) *DocumentError {
 	for i, doc := range docs {
 		report.Documents++
 		stage := NewExtraction()
@@ -206,10 +218,10 @@ func (x *Extraction) AddDocs(docs []Doc, opts *IngestOptions, policy ErrorPolicy
 		report.Bytes += stats.bytes
 		if err != nil {
 			report.Rejected++
-			derr := &DocumentError{Index: i, Label: doc.Label, Err: err}
+			derr := &DocumentError{Index: baseIndex + i, Label: doc.Label, Err: err}
 			report.Errors = append(report.Errors, derr)
 			if policy == FailFast {
-				return report, derr
+				return derr
 			}
 			continue
 		}
@@ -218,7 +230,7 @@ func (x *Extraction) AddDocs(docs []Doc, opts *IngestOptions, policy ErrorPolicy
 		report.Elements += stats.elements
 		x.Merge(stage)
 	}
-	return report, nil
+	return nil
 }
 
 // Merge folds another extraction's observations into x, preserving the

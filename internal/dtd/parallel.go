@@ -1,0 +1,127 @@
+package dtd
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel sharded ingestion. The corpus is split into contiguous shards;
+// each worker claims shards off a shared queue and stages their documents
+// into a private Extraction using the same per-document fault-isolation
+// loop as the sequential path, under the same IngestOptions caps. Once all
+// workers finish, the shard extractions are committed into x with Merge in
+// shard order.
+//
+// Because every observation the extraction accumulates is a commutative
+// set/counter union (2T-INF edge sets, occurrence counters, root tallies)
+// and the order-sensitive parts (Sequences order, capped text samples) are
+// re-serialized by the in-order commit, the result is byte-identical to
+// sequential ingestion of the same documents: Merge(a); Merge(b) equals
+// ingesting a's then b's documents directly, and shards partition the
+// batch in order. Reports are deterministic too — per-document errors
+// carry original batch indexes and shards are contiguous, so concatenating
+// shard reports in shard order reproduces the sequential report exactly.
+//
+// Under FailFast the committed prefix matches sequential FailFast: shards
+// before the earliest failing document commit in full, the failing shard
+// commits its documents preceding the failure, and everything after is
+// discarded. The only observable difference from sequential FailFast is
+// that readers of later documents may already have been partially consumed
+// by workers before the failure surfaced.
+
+// shardsPerWorker oversubscribes the shard queue so a worker that lands on
+// cheap documents can steal further shards instead of idling.
+const shardsPerWorker = 4
+
+// AddDocumentsParallel ingests a batch of documents across workers
+// goroutines (workers <= 0 selects runtime.GOMAXPROCS(0)), labeling
+// documents by position. Semantics, report and resulting extraction are
+// identical to AddDocuments.
+func (x *Extraction) AddDocumentsParallel(docs []io.Reader, workers int, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
+	labeled := make([]Doc, len(docs))
+	for i, r := range docs {
+		labeled[i] = Doc{Label: fmt.Sprintf("document %d", i), R: r}
+	}
+	return x.AddDocsParallel(labeled, workers, opts, policy)
+}
+
+// AddDocsParallel is AddDocumentsParallel with caller-supplied labels.
+func (x *Extraction) AddDocsParallel(docs []Doc, workers int, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(docs) < 2 {
+		return x.AddDocs(docs, opts, policy)
+	}
+	shardCount := workers * shardsPerWorker
+	if shardCount > len(docs) {
+		shardCount = len(docs)
+	}
+	if workers > shardCount {
+		workers = shardCount
+	}
+	bounds := make([]int, shardCount+1)
+	for i := range bounds {
+		bounds[i] = i * len(docs) / shardCount
+	}
+	type shardResult struct {
+		x      *Extraction
+		report IngestReport
+		err    *DocumentError
+	}
+	shards := make([]shardResult, shardCount)
+	var next int64
+	failedShard := int64(shardCount) // lowest shard index that hit FailFast
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(atomic.AddInt64(&next, 1) - 1)
+				if si >= shardCount {
+					return
+				}
+				if policy == FailFast && int64(si) > atomic.LoadInt64(&failedShard) {
+					// A strictly earlier shard already failed; this shard's
+					// results would be discarded by the in-order commit.
+					continue
+				}
+				s := &shards[si]
+				s.x = NewExtraction()
+				s.err = ingestDocs(s.x, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
+				if s.err != nil && policy == FailFast {
+					for {
+						cur := atomic.LoadInt64(&failedShard)
+						if int64(si) >= cur || atomic.CompareAndSwapInt64(&failedShard, cur, int64(si)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	report := &IngestReport{}
+	for si := range shards {
+		s := &shards[si]
+		if s.x == nil {
+			continue // skipped: an earlier shard failed first under FailFast
+		}
+		report.Documents += s.report.Documents
+		report.Accepted += s.report.Accepted
+		report.Rejected += s.report.Rejected
+		report.Bytes += s.report.Bytes
+		report.Tokens += s.report.Tokens
+		report.Elements += s.report.Elements
+		report.Errors = append(report.Errors, s.report.Errors...)
+		x.Merge(s.x)
+		if s.err != nil && policy == FailFast {
+			return report, s.err
+		}
+	}
+	return report, nil
+}

@@ -1,6 +1,9 @@
 package gfa
 
-import "dtdinfer/internal/regex"
+import (
+	"dtdinfer/internal/intern"
+	"dtdinfer/internal/regex"
+)
 
 // Closure is the ε-closure G* of a GFA: its edge set E* contains (i) a self
 // edge (r, r) for every node whose label is repeatable (r+ or r*, i.e. the
@@ -8,10 +11,21 @@ import "dtdinfer/internal/regex"
 // path from r to r' in G passing only through intermediate nodes with
 // nullable labels. E ⊆ E* since a single edge is such a path with no
 // intermediates.
+//
+// The successor and predecessor sets are bitsets indexed by node id. All
+// rows share one backing array, so computing a closure costs a constant
+// number of allocations regardless of automaton size — the rewrite loop
+// recomputes closures after every rule application, which made the earlier
+// map-of-maps representation the dominant allocation site of iDTD.
 type Closure struct {
-	// Succ and Pred are the successor and predecessor sets in G*.
-	Succ, Pred map[int]map[int]bool
+	succ, pred []intern.Bitset
 }
+
+// Succ returns the successor set of u in G*.
+func (c *Closure) Succ(u int) intern.Bitset { return c.succ[u] }
+
+// Pred returns the predecessor set of u in G*.
+func (c *Closure) Pred(u int) intern.Bitset { return c.pred[u] }
 
 func nullableLabel(l *regex.Expr) bool { return l != nil && l.Nullable() }
 
@@ -21,67 +35,51 @@ func repeatableLabel(l *regex.Expr) bool {
 
 // Closure computes the ε-closure of the GFA.
 func (g *GFA) Closure() *Closure {
+	n := g.next
+	words := (n + 63) >> 6
+	backing := make([]uint64, 2*n*words)
 	c := &Closure{
-		Succ: map[int]map[int]bool{},
-		Pred: map[int]map[int]bool{},
+		succ: make([]intern.Bitset, n),
+		pred: make([]intern.Bitset, n),
 	}
-	ids := append([]int{SourceID, SinkID}, g.Nodes()...)
-	for _, id := range ids {
-		c.Succ[id] = map[int]bool{}
-		c.Pred[id] = map[int]bool{}
+	for i := 0; i < n; i++ {
+		c.succ[i] = intern.Bitset(backing[i*words : (i+1)*words])
+		c.pred[i] = intern.Bitset(backing[(n+i)*words : (n+i+1)*words])
 	}
 	add := func(u, v int) {
-		c.Succ[u][v] = true
-		c.Pred[v][u] = true
+		c.succ[u].Set(v)
+		c.pred[v].Set(u)
 	}
+	seen := make(intern.Bitset, words)
+	queue := make([]int, 0, n)
+	ids := append([]int{SourceID, SinkID}, g.Nodes()...)
 	for _, u := range ids {
 		if repeatableLabel(g.labels[u]) {
 			add(u, u)
 		}
 		// BFS from u: an edge (u, v) is in E* when v is reachable through
 		// nullable intermediates only.
-		seen := map[int]bool{}
-		queue := sortedIDs(g.succ[u])
-		for _, v := range queue {
-			seen[v] = true
+		for i := range seen {
+			seen[i] = 0
 		}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		queue = queue[:0]
+		for v := range g.succ[u] {
+			seen.Set(v)
+			queue = append(queue, v)
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
 			add(u, v)
 			if !nullableLabel(g.labels[v]) {
 				continue
 			}
-			for _, w := range g.Successors(v) {
-				if !seen[w] {
-					seen[w] = true
+			for w := range g.succ[v] {
+				if !seen.Has(w) {
+					seen.Set(w)
 					queue = append(queue, w)
 				}
 			}
 		}
 	}
 	return c
-}
-
-// SetEqual reports whether two closure sets are identical.
-func SetEqual(a, b map[int]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if !b[k] {
-			return false
-		}
-	}
-	return true
-}
-
-// SubsetOf reports whether every element of a is in b.
-func SubsetOf(a, b map[int]bool) bool {
-	for k := range a {
-		if !b[k] {
-			return false
-		}
-	}
-	return true
 }

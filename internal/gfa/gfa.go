@@ -77,16 +77,23 @@ func New() *GFA {
 // accepts the empty string, a direct source→sink edge represents it; the
 // optional rule later consumes that edge as a bypass, so nullable SOREs such
 // as (a b)? are recovered exactly.
+//
+// The conversion consumes the SOA's interned alphabet directly: nodes are
+// allocated in name order (so node IDs are reproducible) and edges are
+// translated through a dense ID remap instead of a string-keyed index.
 func FromSOA(a *soa.SOA) *GFA {
 	g := New()
-	ids := map[string]int{soa.Source: SourceID, soa.Sink: SinkID}
-	for _, s := range a.Symbols() {
-		ids[s] = g.AddNode(regex.Sym(s))
+	remap := make([]int, a.NumIDs())
+	remap[soa.SourceID] = SourceID
+	remap[soa.SinkID] = SinkID
+	for _, sid := range a.SymbolIDs() {
+		remap[sid] = g.AddNode(regex.Sym(a.NameByID(sid)))
 	}
-	for _, e := range a.Edges() {
-		g.AddEdge(ids[e[0]], ids[e[1]])
-		g.support[[2]int{ids[e[0]], ids[e[1]]}] = a.EdgeSupport(e[0], e[1])
-	}
+	a.ForEachEdgeID(func(from, to, support int) {
+		f, t := remap[from], remap[to]
+		g.AddEdge(f, t)
+		g.support[[2]int{f, t}] = support
+	})
 	if a.AcceptsEmpty() {
 		g.AddEdge(SourceID, SinkID)
 	}

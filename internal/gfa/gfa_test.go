@@ -210,23 +210,26 @@ func TestClosure(t *testing.T) {
 	g.AddEdge(b, c)
 	g.AddEdge(c, SinkID)
 	cl := g.Closure()
-	if !cl.Succ[a][b] || !cl.Succ[b][c] {
+	if !cl.Succ(a).Has(b) || !cl.Succ(b).Has(c) {
 		t.Error("closure must contain the real edges")
 	}
-	if !cl.Succ[a][c] {
+	if !cl.Succ(a).Has(c) {
 		t.Error("closure must shortcut through the nullable b?")
 	}
-	if !cl.Succ[c][c] {
+	if !cl.Succ(c).Has(c) {
 		t.Error("repeatable c+ must have a closure self edge")
 	}
-	if cl.Succ[a][a] || cl.Succ[b][b] {
+	if cl.Succ(a).Has(a) || cl.Succ(b).Has(b) {
 		t.Error("non-repeatable labels must not get self edges")
 	}
-	if cl.Succ[a][SinkID] {
+	if cl.Succ(a).Has(SinkID) {
 		t.Error("c+ is not nullable; no shortcut a -> sink")
 	}
-	if cl.Succ[b][SinkID] {
+	if cl.Succ(b).Has(SinkID) {
 		t.Error("c+ is not nullable; no shortcut b -> sink")
+	}
+	if !cl.Pred(c).Has(a) || !cl.Pred(b).Has(a) {
+		t.Error("predecessor sets must mirror successor sets")
 	}
 }
 

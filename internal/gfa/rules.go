@@ -1,6 +1,7 @@
 package gfa
 
 import (
+	"dtdinfer/internal/intern"
 	"dtdinfer/internal/regex"
 )
 
@@ -36,20 +37,13 @@ func (g *GFA) TryOptional() bool {
 		if nullableLabel(g.labels[r]) {
 			continue
 		}
-		preds, succs := cl.Pred[r], cl.Succ[r]
+		preds, succs := cl.Pred(r), cl.Succ(r)
 		if !hasOther(preds, r) || !hasOther(succs, r) {
 			continue
 		}
-		ok := true
-		for p := range preds {
-			if p == r {
-				continue
-			}
-			if !SubsetOf(succs, cl.Succ[p]) {
-				ok = false
-				break
-			}
-		}
+		ok := preds.Until(func(p int) bool {
+			return p == r || succs.SubsetOf(cl.Succ(p))
+		})
 		if !ok {
 			continue
 		}
@@ -77,9 +71,12 @@ func (g *GFA) TryOptional() bool {
 	return false
 }
 
-func hasOther(set map[int]bool, self int) bool {
-	for k := range set {
-		if k != self {
+func hasOther(set intern.Bitset, self int) bool {
+	for w, word := range set {
+		if self>>6 == w {
+			word &^= 1 << uint(self&63)
+		}
+		if word != 0 {
 			return true
 		}
 	}
@@ -189,15 +186,16 @@ func (g *GFA) TryDisjunction() bool {
 	nodes := g.Nodes()
 	for i, u := range nodes {
 		for _, v := range nodes[i+1:] {
-			if !setEqualMod(cl.Pred[u], cl.Pred[v], u, v) ||
-				!setEqualMod(cl.Succ[u], cl.Succ[v], u, v) {
+			if !setEqualMod(cl.Pred(u), cl.Pred(v), u, v) ||
+				!setEqualMod(cl.Succ(u), cl.Succ(v), u, v) {
 				continue
 			}
 			realInternal := g.HasEdge(u, u) || g.HasEdge(u, v) ||
 				g.HasEdge(v, u) || g.HasEdge(v, v)
 			if realInternal {
 				// Case (ii): require full closure interconnection.
-				if !(cl.Succ[u][u] && cl.Succ[u][v] && cl.Succ[v][u] && cl.Succ[v][v]) {
+				su, sv := cl.Succ(u), cl.Succ(v)
+				if !(su.Has(u) && su.Has(v) && sv.Has(u) && sv.Has(v)) {
 					continue
 				}
 			}
@@ -208,14 +206,28 @@ func (g *GFA) TryDisjunction() bool {
 	return false
 }
 
-func setEqualMod(a, b map[int]bool, u, v int) bool {
-	for k := range a {
-		if k != u && k != v && !b[k] {
-			return false
-		}
+// setEqualMod reports whether bitsets a and b agree outside {u, v}.
+func setEqualMod(a, b intern.Bitset, u, v int) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
 	}
-	for k := range b {
-		if k != u && k != v && !a[k] {
+	for w := 0; w < n; w++ {
+		var aw, bw uint64
+		if w < len(a) {
+			aw = a[w]
+		}
+		if w < len(b) {
+			bw = b[w]
+		}
+		x := aw ^ bw
+		if u>>6 == w {
+			x &^= 1 << uint(u&63)
+		}
+		if v>>6 == w {
+			x &^= 1 << uint(v&63)
+		}
+		if x != 0 {
 			return false
 		}
 	}

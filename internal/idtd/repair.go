@@ -2,6 +2,7 @@ package idtd
 
 import (
 	"dtdinfer/internal/gfa"
+	"dtdinfer/internal/intern"
 )
 
 // repairOnce applies one repair rule at fuzziness k. Mutually
@@ -73,16 +74,17 @@ func bestDisjunctionRepair(g *gfa.GFA, cl *gfa.Closure, k int, interconnected bo
 	var best *repairPlan
 	for i, u := range nodes {
 		for _, v := range nodes[i+1:] {
-			condB := cl.Pred[u][v] && cl.Succ[u][v] && cl.Pred[v][u] && cl.Succ[v][u]
+			condB := cl.Pred(u).Has(v) && cl.Succ(u).Has(v) &&
+				cl.Pred(v).Has(u) && cl.Succ(v).Has(u)
 			if condB != interconnected {
 				continue
 			}
 			if !condB {
-				pu, pv := without(cl.Pred[u], u, v), without(cl.Pred[v], u, v)
-				su, sv := without(cl.Succ[u], u, v), without(cl.Succ[v], u, v)
-				condA := intersects(pu, pv) && intersects(su, sv) &&
-					diffCount(pu, pv) <= k && diffCount(pv, pu) <= k &&
-					diffCount(su, sv) <= k && diffCount(sv, su) <= k
+				pu, pv := without(cl.Pred(u), u, v), without(cl.Pred(v), u, v)
+				su, sv := without(cl.Succ(u), u, v), without(cl.Succ(v), u, v)
+				condA := pu.Intersects(pv) && su.Intersects(sv) &&
+					pu.DiffCount(pv) <= k && pv.DiffCount(pu) <= k &&
+					su.DiffCount(sv) <= k && sv.DiffCount(su) <= k
 				if !condA {
 					continue
 				}
@@ -116,23 +118,25 @@ func disjunctionPlan(g *gfa.GFA, cl *gfa.Closure, u, v int) *repairPlan {
 		if w == u {
 			other = v
 		}
-		for p := range cl.Pred[other] {
-			if p != u && p != v && !cl.Pred[w][p] {
+		predsW, succsW := cl.Pred(w), cl.Succ(w)
+		cl.Pred(other).ForEach(func(p int) {
+			if p != u && p != v && !predsW.Has(p) {
 				addIfMissing(p, w)
 			}
-		}
-		for s := range cl.Succ[other] {
-			if s != u && s != v && !cl.Succ[w][s] {
+		})
+		cl.Succ(other).ForEach(func(s int) {
+			if s != u && s != v && !succsW.Has(s) {
 				addIfMissing(w, s)
 			}
-		}
+		})
 	}
-	internal := cl.Succ[u][u] || cl.Succ[u][v] || cl.Succ[v][u] || cl.Succ[v][v] ||
+	su, sv := cl.Succ(u), cl.Succ(v)
+	internal := su.Has(u) || su.Has(v) || sv.Has(u) || sv.Has(v) ||
 		g.HasEdge(u, u) || g.HasEdge(u, v) || g.HasEdge(v, u) || g.HasEdge(v, v)
 	if internal {
 		for _, x := range []int{u, v} {
 			for _, y := range []int{u, v} {
-				if !cl.Succ[x][y] {
+				if !cl.Succ(x).Has(y) {
 					addIfMissing(x, y)
 				}
 			}
@@ -153,19 +157,20 @@ func bestOptionalRepair(g *gfa.GFA, cl *gfa.Closure, k int) *repairPlan {
 		if label != nil && label.Nullable() {
 			continue // optional would make no progress on r
 		}
-		preds := without(cl.Pred[r], r, r)
-		succs := without(cl.Succ[r], r, r)
+		preds := without(cl.Pred(r), r, r).Members()
+		succs := without(cl.Succ(r), r, r).Members()
 		if len(preds) == 0 || len(succs) == 0 {
 			continue
 		}
-		if preds[gfa.SourceID] && succs[gfa.SinkID] && !g.HasEdge(gfa.SourceID, gfa.SinkID) {
+		if contains(preds, gfa.SourceID) && contains(succs, gfa.SinkID) &&
+			!g.HasEdge(gfa.SourceID, gfa.SinkID) {
 			// The bypass source→sink would add ε to the language, which no
 			// expression can denote; optional cannot be enabled for r.
 			continue
 		}
 		condA := false
-		for p := range preds {
-			for s := range succs {
+		for _, p := range preds {
+			for _, s := range succs {
 				if g.HasEdge(p, s) {
 					condA = true
 					break
@@ -177,24 +182,21 @@ func bestOptionalRepair(g *gfa.GFA, cl *gfa.Closure, k int) *repairPlan {
 		}
 		condB := false
 		if len(preds) == 1 {
-			var rp int
-			for p := range preds {
-				rp = p
-			}
+			rp := preds[0]
 			extra := 0
-			for s := range cl.Succ[rp] {
+			cl.Succ(rp).ForEach(func(s int) {
 				if s != r && s != rp {
 					extra++
 				}
-			}
+			})
 			condB = extra <= k
 		}
 		if !condA && !condB {
 			continue
 		}
 		plan := &repairPlan{}
-		for p := range preds {
-			for s := range succs {
+		for _, p := range preds {
+			for _, s := range succs {
 				if p == gfa.SourceID && s == gfa.SinkID {
 					continue
 				}
@@ -213,31 +215,20 @@ func bestOptionalRepair(g *gfa.GFA, cl *gfa.Closure, k int) *repairPlan {
 	return best
 }
 
-func without(set map[int]bool, u, v int) map[int]bool {
-	out := make(map[int]bool, len(set))
-	for x := range set {
-		if x != u && x != v {
-			out[x] = true
-		}
-	}
+// without returns a copy of set with u and v removed.
+func without(set intern.Bitset, u, v int) intern.Bitset {
+	out := make(intern.Bitset, len(set))
+	copy(out, set)
+	out.Clear(u)
+	out.Clear(v)
 	return out
 }
 
-func intersects(a, b map[int]bool) bool {
-	for x := range a {
-		if b[x] {
+func contains(s []int, x int) bool {
+	for _, y := range s {
+		if y == x {
 			return true
 		}
 	}
 	return false
-}
-
-func diffCount(a, b map[int]bool) int {
-	n := 0
-	for x := range a {
-		if !b[x] {
-			n++
-		}
-	}
-	return n
 }

@@ -1,0 +1,102 @@
+package intern
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTableAssignsDenseIDsInFirstSeenOrder(t *testing.T) {
+	tab := NewTable()
+	for i, s := range []string{"b", "a", "c", "a", "b", "d"} {
+		id := tab.Intern(s)
+		want := map[int]int{0: 0, 1: 1, 2: 2, 3: 1, 4: 0, 5: 3}[i]
+		if id != want {
+			t.Errorf("Intern #%d (%q) = %d, want %d", i, s, id, want)
+		}
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tab.Len())
+	}
+	for id, want := range []string{"b", "a", "c", "d"} {
+		if got := tab.Name(id); got != want {
+			t.Errorf("Name(%d) = %q, want %q", id, got, want)
+		}
+	}
+	if id, ok := tab.Lookup("c"); !ok || id != 2 {
+		t.Errorf("Lookup(c) = %d, %v", id, ok)
+	}
+	if _, ok := tab.Lookup("zz"); ok {
+		t.Error("Lookup of unknown string succeeded")
+	}
+}
+
+func TestTableCloneIsIndependent(t *testing.T) {
+	tab := NewTable()
+	tab.Intern("x")
+	c := tab.Clone()
+	c.Intern("y")
+	if tab.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("lens = %d, %d", tab.Len(), c.Len())
+	}
+	if _, ok := tab.Lookup("y"); ok {
+		t.Error("clone mutated original")
+	}
+}
+
+func TestBitsetSetHasForEach(t *testing.T) {
+	var b Bitset
+	members := []int{0, 1, 63, 64, 65, 200, 1000}
+	for _, m := range members {
+		b.Set(m)
+	}
+	for _, m := range members {
+		if !b.Has(m) {
+			t.Errorf("Has(%d) = false", m)
+		}
+	}
+	for _, m := range []int{2, 62, 66, 199, 201, 999, 1001, 5000} {
+		if b.Has(m) {
+			t.Errorf("Has(%d) = true", m)
+		}
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("ForEach not ascending: %v", got)
+	}
+	if len(got) != len(members) {
+		t.Fatalf("ForEach visited %v, want %v", got, members)
+	}
+	for i := range got {
+		if got[i] != members[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, members)
+		}
+	}
+}
+
+func TestBitsetRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var b Bitset
+	ref := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(512)
+		b.Set(n)
+		ref[n] = true
+	}
+	count := 0
+	b.ForEach(func(i int) {
+		if !ref[i] {
+			t.Fatalf("ForEach yielded non-member %d", i)
+		}
+		count++
+	})
+	if count != len(ref) {
+		t.Fatalf("ForEach count = %d, want %d", count, len(ref))
+	}
+	for i := 0; i < 512; i++ {
+		if b.Has(i) != ref[i] {
+			t.Fatalf("Has(%d) = %v, want %v", i, b.Has(i), ref[i])
+		}
+	}
+}

@@ -1,10 +1,11 @@
 # Development targets. `make check` is the gate every PR must pass: it
-# vets the tree and runs the full test suite under the race detector, so
-# the concurrent InferDTD worker pool is race-checked on every change.
+# checks formatting, vets the tree and runs the full test suite under the
+# race detector, so the concurrent InferDTD worker pool is race-checked on
+# every change.
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke
+.PHONY: build test vet fmt-check race check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -15,20 +16,26 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (listing the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: fmt-check vet race
 
 # bench records the perf-trajectory workloads (Section 8.3 timings, the
-# end-to-end pipeline at several ingestion worker counts, and the isolated
-# sharded-ingestion benchmark) as BENCH_PR2.json via cmd/benchjson.
-BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel
+# end-to-end pipeline at several ingestion worker counts, the isolated
+# sharded-ingestion benchmark, and the dedup-vs-verbatim sample pipeline
+# comparison) as BENCH_PR3.json via cmd/benchjson.
+BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDedup
 BENCH_COUNT ?= 3x
 
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_COUNT) . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR2.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
 
 # bench-smoke is the CI gate: every benchmark must run once without failing.
 bench-smoke:

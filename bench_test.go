@@ -23,6 +23,7 @@ import (
 	"dtdinfer/internal/idtd"
 	"dtdinfer/internal/regex"
 	"dtdinfer/internal/regextest"
+	"dtdinfer/internal/sample"
 	"dtdinfer/internal/soa"
 	"dtdinfer/internal/stateelim"
 )
@@ -215,6 +216,41 @@ func BenchmarkIngestParallel(b *testing.B) {
 func corpusDocs(n int) func() []io.Reader {
 	docs := corpus.Protein(1, n)
 	return func() []io.Reader { return corpus.Documents(docs) }
+}
+
+// BenchmarkIngestDedup contrasts the two sample pipelines on a
+// duplicate-heavy sample. "verbatim" feeds every string to the engine
+// individually — the pre-counted representation, paid on every inference
+// call. "counted" infers from the deduplicated sample.Set the ingestion
+// layer hands every engine (built once per corpus, outside the loop);
+// "counted-cold" additionally pays the one-time build. All three produce
+// the identical expression.
+func BenchmarkIngestDedup(b *testing.B) {
+	typical := regex.MustParse("a1 a2? (a3 + a4 + a5)* a6 (a7 + a8)? a9* a10")
+	strs := datagen.RepresentativeSample(datagen.NewSampler(1), typical, 10000)
+	set := sample.FromStrings(strs)
+	b.Logf("sample: %d strings, %d unique", set.Total(), set.Unique())
+	b.Run("verbatim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := idtd.Infer(strs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("counted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := idtd.InferSample(set, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("counted-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := idtd.InferSample(sample.FromStrings(strs), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationRepairPolicy measures the design choice DESIGN.md calls

@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	algoName := flag.String("algo", "idtd", "inference algorithm: idtd, crx, rewrite, xtract, trang or stateelim")
+	algoName := flag.String("algo", "idtd", "inference algorithm: "+core.AlgorithmList())
 	format := flag.String("format", "dtd", "output format: dtd or xsd")
 	numeric := flag.Bool("numeric", false, "refine repetitions to {m,n} bounds from the data (Section 9)")
 	noise := flag.Int("noise", 0, "iDTD noise threshold: drop edges supported by at most N strings when stuck")

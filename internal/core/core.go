@@ -3,12 +3,15 @@
 // derives concise deterministic regular expressions — SOREs via iDTD,
 // CHAREs via CRX — or runs one of the baselines (XTRACT, the Trang-like
 // pipeline, classical state elimination) for comparison, and assembles
-// complete DTDs or XML Schemas.
+// complete DTDs or XML Schemas. Every engine is a registered Learner
+// consuming the counted, interned sample representation; names, parsing
+// and CLI usage text all derive from the registry.
 package core
 
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"dtdinfer/internal/crx"
 	"dtdinfer/internal/dtd"
@@ -16,7 +19,7 @@ import (
 	"dtdinfer/internal/idtd"
 	"dtdinfer/internal/numpred"
 	"dtdinfer/internal/regex"
-	"dtdinfer/internal/soa"
+	"dtdinfer/internal/sample"
 	"dtdinfer/internal/stateelim"
 	"dtdinfer/internal/tranglike"
 	"dtdinfer/internal/xsd"
@@ -42,16 +45,6 @@ const (
 	StateElim Algorithm = "stateelim"
 )
 
-// ParseAlgorithm converts a name (as used by the command-line tools) into
-// an Algorithm.
-func ParseAlgorithm(name string) (Algorithm, error) {
-	switch Algorithm(name) {
-	case IDTD, CRX, RewriteOnly, XTRACT, TrangLike, StateElim:
-		return Algorithm(name), nil
-	}
-	return "", fmt.Errorf("core: unknown algorithm %q (want idtd, crx, rewrite, xtract, trang or stateelim)", name)
-}
-
 // Options tune the engines.
 type Options struct {
 	// IDTD options (fuzziness k, noise threshold, ...).
@@ -68,52 +61,176 @@ type Options struct {
 	Parallelism int
 }
 
-// InferExpr derives a content-model expression from positive example
-// strings with the chosen algorithm.
-func InferExpr(sample [][]string, algo Algorithm, opts *Options) (*regex.Expr, error) {
+// Learner is one registered inference engine: the name the tools address
+// it by, a one-line description for usage text, and the inference function
+// over the counted, interned sample representation.
+type Learner struct {
+	// Algo is the registry key, as used by ParseAlgorithm and the CLIs.
+	Algo Algorithm
+	// Doc is a one-line description shown in command-line usage.
+	Doc string
+	// Infer derives a content-model expression from a counted sample.
+	Infer func(s *sample.Set, opts *Options) (*regex.Expr, error)
+}
+
+// registry holds the learners in registration order — the order names
+// appear in usage text and error messages.
+var registry []Learner
+
+// byAlgo indexes the registry for ParseAlgorithm and dispatch.
+var byAlgo = map[Algorithm]*Learner{}
+
+// Register adds a learner to the registry. It panics on a duplicate or
+// empty name; registration happens at init time, so a collision is a
+// programming error, not a runtime condition.
+func Register(l Learner) {
+	if l.Algo == "" || l.Infer == nil {
+		panic("core: Register requires a name and an Infer func")
+	}
+	if _, dup := byAlgo[l.Algo]; dup {
+		panic(fmt.Sprintf("core: duplicate learner %q", l.Algo))
+	}
+	registry = append(registry, l)
+	byAlgo[l.Algo] = &registry[len(registry)-1]
+}
+
+// Learners returns the registered learners in registration order.
+func Learners() []Learner {
+	out := make([]Learner, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// AlgorithmNames returns the registered algorithm names in registration
+// order — the single source the CLIs derive their -algo usage from.
+func AlgorithmNames() []string {
+	names := make([]string, len(registry))
+	for i, l := range registry {
+		names[i] = string(l.Algo)
+	}
+	return names
+}
+
+// AlgorithmList renders the registered names as "a, b, ... or z" for
+// error and usage text.
+func AlgorithmList() string {
+	names := AlgorithmNames()
+	if len(names) == 0 {
+		return ""
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	return strings.Join(names[:len(names)-1], ", ") + " or " + names[len(names)-1]
+}
+
+// ParseAlgorithm converts a name (as used by the command-line tools) into
+// an Algorithm. The set of accepted names — and the error text listing
+// them — comes from the learner registry.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	if _, ok := byAlgo[Algorithm(name)]; ok {
+		return Algorithm(name), nil
+	}
+	return "", fmt.Errorf("core: unknown algorithm %q (want %s)", name, AlgorithmList())
+}
+
+func init() {
+	Register(Learner{
+		Algo: IDTD,
+		Doc:  "SORE inference: 2T-INF + rewrite + repair rules (the paper's iDTD)",
+		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
+			res, err := idtd.InferSample(s, &opts.IDTD)
+			if err != nil {
+				return nil, err
+			}
+			return res.Expr, nil
+		},
+	})
+	Register(Learner{
+		Algo: CRX,
+		Doc:  "CHARE inference, strongest on sparse data (the paper's CRX)",
+		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
+			res, err := crx.InferSample(s)
+			if err != nil {
+				return nil, err
+			}
+			return res.Expr, nil
+		},
+	})
+	Register(Learner{
+		Algo: RewriteOnly,
+		Doc:  "rewrite without repair rules; fails on non-representative samples (Figure 4)",
+		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
+			return gfa.InferSample(s)
+		},
+	})
+	Register(Learner{
+		Algo: XTRACT,
+		Doc:  "reconstruction of the Garofalakis et al. XTRACT system",
+		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
+			return xtract.InferSample(s, &opts.XTRACT)
+		},
+	})
+	Register(Learner{
+		Algo: TrangLike,
+		Doc:  "reconstruction of Trang's inference strategy",
+		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
+			return tranglike.InferSample(s)
+		},
+	})
+	Register(Learner{
+		Algo: StateElim,
+		Doc:  "classical state elimination over the 2T-INF automaton (negative baseline)",
+		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
+			return stateelim.InferSample(s)
+		},
+	})
+}
+
+// InferSampleExpr derives a content-model expression from a counted,
+// interned sample with the chosen algorithm. This is the engine hot path:
+// the registered learner consumes interned IDs directly, and the optional
+// numeric-predicate refinement scans unique sequences only.
+func InferSampleExpr(s *sample.Set, algo Algorithm, opts *Options) (*regex.Expr, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	var e *regex.Expr
-	var err error
-	switch algo {
-	case IDTD:
-		var res *idtd.Result
-		res, err = idtd.Infer(sample, &o.IDTD)
-		if err == nil {
-			e = res.Expr
-		}
-	case CRX:
-		var res *crx.Result
-		res, err = crx.Infer(sample)
-		if err == nil {
-			e = res.Expr
-		}
-	case RewriteOnly:
-		e, err = gfa.Rewrite(soa.Infer(sample))
-	case XTRACT:
-		e, err = xtract.Infer(sample, &o.XTRACT)
-	case TrangLike:
-		e, err = tranglike.Infer(sample)
-	case StateElim:
-		e, err = stateelim.FromSOA(soa.Infer(sample))
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	l, ok := byAlgo[algo]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q (want %s)", algo, AlgorithmList())
 	}
+	e, err := l.Infer(s, &o)
 	if err != nil {
 		return nil, err
 	}
 	if o.NumericPredicates {
-		e = numpred.Refine(e, sample)
+		e = numpred.RefineSample(e, s)
 	}
 	return e, nil
 }
 
-// Inferrer adapts an algorithm to the dtd.InferFunc shape.
+// InferExpr derives a content-model expression from positive example
+// strings with the chosen algorithm. The strings are folded into the
+// counted sample representation first, so duplicates cost a count bump
+// rather than repeated work in the engine.
+func InferExpr(strs [][]string, algo Algorithm, opts *Options) (*regex.Expr, error) {
+	return InferSampleExpr(sample.FromStrings(strs), algo, opts)
+}
+
+// Inferrer adapts an algorithm to the dtd.InferFunc shape (verbatim
+// strings), used by consumers that assemble their own string samples.
 func Inferrer(algo Algorithm, opts *Options) dtd.InferFunc {
 	return func(sample [][]string) (*regex.Expr, error) {
 		return InferExpr(sample, algo, opts)
+	}
+}
+
+// SampleInferrer adapts an algorithm to the dtd.InferSampleFunc shape —
+// the path every document-level entry point runs on.
+func SampleInferrer(algo Algorithm, opts *Options) dtd.InferSampleFunc {
+	return func(s *sample.Set) (*regex.Expr, error) {
+		return InferSampleExpr(s, algo, opts)
 	}
 }
 
@@ -142,7 +259,7 @@ func InferDTD(docs []io.Reader, algo Algorithm, opts *Options) (*dtd.DTD, error)
 	if err != nil {
 		return nil, err
 	}
-	return x.InferDTD(Inferrer(algo, opts))
+	return x.InferDTDSample(SampleInferrer(algo, opts))
 }
 
 // InferDTDReport is InferDTD with hardened ingestion: documents are
@@ -159,7 +276,7 @@ func InferDTDReport(docs []io.Reader, algo Algorithm, opts *Options,
 	if err != nil {
 		return nil, report, nil, err
 	}
-	d, stats, err := x.InferDTDStats(Inferrer(algo, opts))
+	d, stats, err := x.InferDTDSampleStats(SampleInferrer(algo, opts))
 	if err != nil {
 		return nil, report, stats, err
 	}
@@ -168,13 +285,13 @@ func InferDTDReport(docs []io.Reader, algo Algorithm, opts *Options,
 
 // InferDTDFromExtraction infers a DTD from already-extracted sequences.
 func InferDTDFromExtraction(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, error) {
-	return x.InferDTD(Inferrer(algo, opts))
+	return x.InferDTDSample(SampleInferrer(algo, opts))
 }
 
 // InferDTDFromExtractionStats additionally reports per-element inference
 // timings from InferDTD's worker pool.
 func InferDTDFromExtractionStats(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, *dtd.InferStats, error) {
-	return x.InferDTDStats(Inferrer(algo, opts))
+	return x.InferDTDSampleStats(SampleInferrer(algo, opts))
 }
 
 // InferXSD infers a DTD from the documents and renders it as an XML Schema
@@ -184,7 +301,7 @@ func InferXSD(docs []io.Reader, algo Algorithm, opts *Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	d, err := x.InferDTD(Inferrer(algo, opts))
+	d, err := x.InferDTDSample(SampleInferrer(algo, opts))
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtdinfer/internal/crx"
+	"dtdinfer/internal/gfa"
+	"dtdinfer/internal/idtd"
+	"dtdinfer/internal/numpred"
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/sample"
+	"dtdinfer/internal/soa"
+	"dtdinfer/internal/stateelim"
+	"dtdinfer/internal/tranglike"
+	"dtdinfer/internal/xtract"
+)
+
+func TestRegistryDrivesNamesAndErrors(t *testing.T) {
+	want := []string{"idtd", "crx", "rewrite", "xtract", "trang", "stateelim"}
+	if got := AlgorithmNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("AlgorithmNames = %v, want %v", got, want)
+	}
+	if got := AlgorithmList(); got != "idtd, crx, rewrite, xtract, trang or stateelim" {
+		t.Errorf("AlgorithmList = %q", got)
+	}
+	_, err := ParseAlgorithm("bogus")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, name := range want {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered algorithm %q", err, name)
+		}
+	}
+	if len(Learners()) != len(want) {
+		t.Errorf("Learners() has %d entries", len(Learners()))
+	}
+	for _, l := range Learners() {
+		if l.Doc == "" {
+			t.Errorf("learner %s has no usage doc", l.Algo)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	Register(Learner{Algo: IDTD, Infer: Learners()[0].Infer})
+}
+
+// equivalenceSamples exercise dedup-heavy, sparse and empty-containing
+// shapes, so multiplicity handling in every engine is on the hook.
+func equivalenceSamples() [][][]string {
+	return [][][]string{
+		split("ab", "abb", "aab", "b"),
+		split("ab", "ab", "ab", "abb", "abb", "b", ""),
+		split("bacacdacde", "cbacdbacde", "abccaadcde"),
+		split("aabb", "aabb", "aabbb"),
+		{{"x"}, {"x"}, {"x"}, nil},
+	}
+}
+
+// TestEnginesInferSampleMatchesInfer checks, engine by engine, that the
+// counted-sample entry point renders the exact expression of the verbatim
+// string entry point on the same data.
+func TestEnginesInferSampleMatchesInfer(t *testing.T) {
+	type engine struct {
+		name       string
+		fromString func([][]string) (*regex.Expr, error)
+		fromSample func(*sample.Set) (*regex.Expr, error)
+	}
+	engines := []engine{
+		{"idtd",
+			func(s [][]string) (*regex.Expr, error) {
+				r, err := idtd.Infer(s, nil)
+				if err != nil {
+					return nil, err
+				}
+				return r.Expr, nil
+			},
+			func(s *sample.Set) (*regex.Expr, error) {
+				r, err := idtd.InferSample(s, nil)
+				if err != nil {
+					return nil, err
+				}
+				return r.Expr, nil
+			}},
+		{"crx",
+			func(s [][]string) (*regex.Expr, error) {
+				r, err := crx.Infer(s)
+				if err != nil {
+					return nil, err
+				}
+				return r.Expr, nil
+			},
+			func(s *sample.Set) (*regex.Expr, error) {
+				r, err := crx.InferSample(s)
+				if err != nil {
+					return nil, err
+				}
+				return r.Expr, nil
+			}},
+		{"rewrite",
+			func(s [][]string) (*regex.Expr, error) { return gfa.Rewrite(soa.Infer(s)) },
+			gfa.InferSample},
+		{"xtract",
+			func(s [][]string) (*regex.Expr, error) { return xtract.Infer(s, nil) },
+			func(s *sample.Set) (*regex.Expr, error) { return xtract.InferSample(s, nil) }},
+		{"trang",
+			tranglike.Infer,
+			tranglike.InferSample},
+		{"stateelim",
+			func(s [][]string) (*regex.Expr, error) { return stateelim.FromSOA(soa.Infer(s)) },
+			stateelim.InferSample},
+	}
+	for _, eng := range engines {
+		for i, strs := range equivalenceSamples() {
+			want, errS := eng.fromString(strs)
+			got, errC := eng.fromSample(sample.FromStrings(strs))
+			if (errS == nil) != (errC == nil) {
+				t.Errorf("%s sample %d: string err=%v, counted err=%v", eng.name, i, errS, errC)
+				continue
+			}
+			if errS != nil {
+				continue
+			}
+			if want.String() != got.String() {
+				t.Errorf("%s sample %d: counted path diverges:\n  strings: %s\n  counted: %s",
+					eng.name, i, want, got)
+			}
+		}
+	}
+}
+
+func TestSOAInferSampleMatchesInfer(t *testing.T) {
+	for i, strs := range equivalenceSamples() {
+		a := soa.Infer(strs)
+		b := soa.InferSample(sample.FromStrings(strs))
+		if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+			t.Errorf("sample %d: edges differ", i)
+		}
+		for _, e := range a.Edges() {
+			if a.EdgeSupport(e[0], e[1]) != b.EdgeSupport(e[0], e[1]) {
+				t.Errorf("sample %d: support(%s→%s) = %d vs %d", i, e[0], e[1],
+					a.EdgeSupport(e[0], e[1]), b.EdgeSupport(e[0], e[1]))
+			}
+		}
+	}
+}
+
+func TestNumpredRefineSampleMatchesRefine(t *testing.T) {
+	for i, strs := range equivalenceSamples() {
+		e, err := InferExpr(strs, IDTD, nil)
+		if err != nil {
+			continue
+		}
+		want := numpred.Refine(e, strs)
+		got := numpred.RefineSample(e, sample.FromStrings(strs))
+		if want.String() != got.String() {
+			t.Errorf("sample %d: %s vs %s", i, want, got)
+		}
+	}
+}
+
+func TestInferSampleExprMatchesInferExpr(t *testing.T) {
+	for _, algo := range []Algorithm{IDTD, CRX, RewriteOnly, XTRACT, TrangLike, StateElim} {
+		for i, strs := range equivalenceSamples() {
+			for _, numeric := range []bool{false, true} {
+				opts := &Options{NumericPredicates: numeric}
+				want, errS := InferExpr(strs, algo, opts)
+				got, errC := InferSampleExpr(sample.FromStrings(strs), algo, opts)
+				if (errS == nil) != (errC == nil) {
+					t.Errorf("%s sample %d numeric=%v: err %v vs %v", algo, i, numeric, errS, errC)
+					continue
+				}
+				if errS == nil && want.String() != got.String() {
+					t.Errorf("%s sample %d numeric=%v: %s vs %s", algo, i, numeric, want, got)
+				}
+			}
+		}
+	}
+}

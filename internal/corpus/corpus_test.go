@@ -31,7 +31,7 @@ func TestProteinCorpusNeverMixesVolumeAndMonth(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for _, seq := range x.Sequences["refinfo"] {
+	for _, seq := range x.Sequences["refinfo"].UniqueStrings() {
 		hasVolume, hasMonth := false, false
 		for _, c := range seq {
 			if c == "volume" {

@@ -20,6 +20,7 @@ import (
 
 	"dtdinfer/internal/gfa"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 )
 
 // Result carries the inferred CHARE and the intermediate structures, which
@@ -38,6 +39,15 @@ func Infer(sample [][]string) (*Result, error) {
 	for _, w := range sample {
 		st.AddString(w)
 	}
+	return st.Infer()
+}
+
+// InferSample runs CRX on a counted, interned sample: multiplicities feed
+// the quantifier statistics directly, each unique sequence is summarized
+// once, and the result is identical to Infer on the expanded strings.
+func InferSample(s *smp.Set) (*Result, error) {
+	st := NewState()
+	st.AddSample(s)
 	return st.Infer()
 }
 

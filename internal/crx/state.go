@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dtdinfer/internal/intern"
+	smp "dtdinfer/internal/sample"
 )
 
 // State is the incremental summary CRX maintains instead of the raw sample
@@ -86,9 +87,51 @@ func (st *State) AddString(w []string) {
 	st.bumpProfile()
 }
 
+// AddSample folds a counted sample into the summary: each unique sequence
+// is processed once, with its multiplicity added to the matching profile.
+// The result is identical to AddString over the expanded strings —
+// quantifier assignment only reads per-string occurrence vectors and their
+// multiplicities, both of which the counted path preserves exactly. Symbol
+// IDs are remapped from the sample's intern table once per call, so no
+// string hashing happens on the per-sequence path.
+func (st *State) AddSample(s *smp.Set) {
+	remap := make([]int32, s.NumSymbols())
+	for i := range remap {
+		remap[i] = -1
+	}
+	s.ForEach(func(w []int32, n int) {
+		st.total += n
+		st.gen++
+		st.touched = st.touched[:0]
+		prev := -1
+		for _, sid := range w {
+			id := int(remap[sid])
+			if id < 0 {
+				id = st.internID(s.Name(int(sid)))
+				remap[sid] = int32(id)
+			}
+			if st.stamp[id] != st.gen {
+				st.stamp[id] = st.gen
+				st.counts[id] = 1
+				st.touched = append(st.touched, int32(id))
+			} else if st.counts[id] < 2 {
+				st.counts[id]++
+			}
+			if prev >= 0 {
+				st.edges[prev].Set(id)
+			}
+			prev = id
+		}
+		st.bumpProfileCount(n)
+	})
+}
+
 // bumpProfile records the occurrence vector of the string just folded in,
 // reading counts for the IDs in touched.
-func (st *State) bumpProfile() {
+func (st *State) bumpProfile() { st.bumpProfileCount(1) }
+
+// bumpProfileCount is bumpProfile with a multiplicity.
+func (st *State) bumpProfileCount(n int) {
 	// Insertion sort: strings rarely touch many distinct symbols, and the
 	// IDs arrive nearly sorted for samples that reuse a stable alphabet.
 	t := st.touched
@@ -111,7 +154,7 @@ func (st *State) bumpProfile() {
 		}
 		st.profiles[string(st.keyBuf)] = p
 	}
-	p.mult++
+	p.mult += n
 }
 
 // Merge folds another summary into st, implementing incremental

@@ -144,9 +144,8 @@ func (x *Extraction) inferAttributes(d *DTD) {
 			continue // attribute on an element never closed? defensive
 		}
 		occurrences := 0
-		for _, s := range x.Sequences[k.elem] {
-			_ = s
-			occurrences++
+		if s := x.Sequences[k.elem]; s != nil {
+			occurrences = s.Total()
 		}
 		a := &Attribute{
 			Name:     k.att,

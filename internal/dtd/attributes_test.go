@@ -165,7 +165,7 @@ func TestAttributeStatsOverflow(t *testing.T) {
 	x := NewExtraction()
 	for i := 0; i < maxAttValues+10; i++ {
 		x.recordAttribute("e", "big", strings.Repeat("v", 1+i%7)+string(rune('a'+i%26))+itoa(i))
-		x.Sequences["e"] = append(x.Sequences["e"], nil)
+		x.AddSequences("e", [][]string{nil})
 	}
 	st := x.Attributes["e"]["big"]
 	if !st.overflow {

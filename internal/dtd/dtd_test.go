@@ -88,11 +88,11 @@ func TestExtraction(t *testing.T) {
 		t.Errorf("Root = %q", x.Root())
 	}
 	seqs := x.Sequences["entry"]
-	if len(seqs) != 2 {
-		t.Fatalf("entry sequences = %v", seqs)
+	if seqs.Total() != 2 || seqs.Unique() != 2 {
+		t.Fatalf("entry sequences = %v", seqs.Strings())
 	}
-	if strings.Join(seqs[0], " ") != "name score score" || strings.Join(seqs[1], " ") != "name" {
-		t.Errorf("entry sequences = %v", seqs)
+	if strings.Join(seqs.SeqStrings(0), " ") != "name score score" || strings.Join(seqs.SeqStrings(1), " ") != "name" {
+		t.Errorf("entry sequences = %v", seqs.Strings())
 	}
 	if !x.HasText["name"] || x.HasText["entry"] {
 		t.Errorf("HasText wrong: %v", x.HasText)
@@ -241,8 +241,8 @@ func TestExtractionIgnoresCommentsAndPIs(t *testing.T) {
 	if err := x.AddDocument(strings.NewReader(doc)); err != nil {
 		t.Fatal(err)
 	}
-	if got := x.Sequences["r"]; len(got) != 1 || strings.Join(got[0], " ") != "a a" {
-		t.Errorf("sequences = %v", got)
+	if got := x.Sequences["r"]; got.Total() != 1 || strings.Join(got.SeqStrings(0), " ") != "a a" {
+		t.Errorf("sequences = %v", got.Strings())
 	}
 	if x.HasText["r"] {
 		t.Error("comments and PIs must not count as text")
@@ -268,8 +268,8 @@ func TestExtractionNamespacesUseLocalNames(t *testing.T) {
 	if err := x.AddDocument(strings.NewReader(doc)); err != nil {
 		t.Fatal(err)
 	}
-	if got := x.Sequences["r"]; len(got) != 1 || strings.Join(got[0], " ") != "a a" {
-		t.Errorf("sequences = %v (namespaced elements should use local names)", got)
+	if got := x.Sequences["r"]; got.Total() != 1 || strings.Join(got.SeqStrings(0), " ") != "a a" {
+		t.Errorf("sequences = %v (namespaced elements should use local names)", got.Strings())
 	}
 }
 
@@ -314,7 +314,7 @@ func TestExtractionDeeplyNestedDocument(t *testing.T) {
 	if err := x.AddDocument(strings.NewReader(b.String())); err != nil {
 		t.Fatal(err)
 	}
-	if len(x.Sequences["d"]) != depth {
-		t.Errorf("got %d d-sequences", len(x.Sequences["d"]))
+	if x.Sequences["d"].Total() != depth {
+		t.Errorf("got %d d-sequences", x.Sequences["d"].Total())
 	}
 }

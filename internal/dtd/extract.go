@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dtdinfer/internal/regex"
+	"dtdinfer/internal/sample"
 )
 
 // Extraction accumulates, over one or more XML documents, the child-element
@@ -19,8 +20,12 @@ import (
 // strings from which a DTD is inferred — plus whether non-whitespace text
 // was seen and the root element names.
 type Extraction struct {
-	// Sequences maps an element name to the observed children sequences.
-	Sequences map[string][][]string
+	// Sequences maps an element name to the counted multiset of observed
+	// children sequences. Sequences are deduplicated and symbol-interned
+	// at ingestion, so repeated structures cost one count increment
+	// instead of a stored copy, and inference consumes interned IDs
+	// without re-interning strings.
+	Sequences map[string]*sample.Set
 	// HasText marks elements with non-whitespace character data.
 	HasText map[string]bool
 	// TextSamples keeps up to maxTextSamples trimmed text values per
@@ -40,7 +45,7 @@ const maxTextSamples = 100
 // NewExtraction returns an empty accumulator.
 func NewExtraction() *Extraction {
 	return &Extraction{
-		Sequences:   map[string][][]string{},
+		Sequences:   map[string]*sample.Set{},
 		HasText:     map[string]bool{},
 		TextSamples: map[string][]string{},
 		Attributes:  map[string]map[string]*attStats{},
@@ -63,11 +68,18 @@ type docStats struct {
 	elements int64
 }
 
-// extractOne runs the decode loop over one document, mutating x directly.
-// Callers that need atomicity (all of them, via AddDocumentOptions and
-// AddDocs) run it on a staging extraction and Merge on success. A nil
-// opts applies no resource caps.
-func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions) (docStats, error) {
+// extractOne runs the decode loop over one document, mutating x directly
+// except for children sequences, which are buffered as verbatim strings
+// into the caller-owned seqs map (cleared between documents by batch
+// callers so its buckets are reused). Callers that need atomicity (all of
+// them, via AddDocumentOptions and AddDocs) run it on a staging
+// extraction, then Merge the stage and commit the buffered sequences on
+// success. Keeping the per-document staging as plain strings means each
+// observed sequence is interned exactly once, into the commit target's
+// counted sample — a staged sample.Set would intern into a throwaway
+// table and force Merge to re-intern on every document. A nil opts
+// applies no resource caps.
+func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions, seqs map[string][][]string) (docStats, error) {
 	var o IngestOptions
 	if opts != nil {
 		o = *opts
@@ -80,7 +92,12 @@ func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions) (docStats, err
 	}
 	var stack []frame
 	var stats docStats
-	names := map[string]bool{}
+	// names tracks distinct element names only when the cap is on; the
+	// uncapped path skips the per-element map traffic entirely.
+	var names map[string]bool
+	if o.MaxNames > 0 {
+		names = make(map[string]bool, 16)
+	}
 	for {
 		tok, err := dec.Token()
 		stats.bytes = mr.n
@@ -105,8 +122,8 @@ func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions) (docStats, err
 				return stats, &LimitError{Limit: "depth", Max: int64(o.MaxDepth), Offset: dec.InputOffset()}
 			}
 			name := t.Name.Local
-			if !names[name] {
-				if o.MaxNames > 0 && len(names) >= o.MaxNames {
+			if o.MaxNames > 0 && !names[name] {
+				if len(names) >= o.MaxNames {
 					return stats, &LimitError{Limit: "names", Max: int64(o.MaxNames), Offset: dec.InputOffset()}
 				}
 				names[name] = true
@@ -127,7 +144,7 @@ func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions) (docStats, err
 		case xml.EndElement:
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			x.Sequences[top.name] = append(x.Sequences[top.name], top.children)
+			seqs[top.name] = append(seqs[top.name], top.children)
 		case xml.CharData:
 			if trimmed := strings.TrimSpace(string(t)); len(stack) > 0 && trimmed != "" {
 				name := stack[len(stack)-1].name
@@ -143,6 +160,19 @@ func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions) (docStats, err
 	}
 	x.Documents++
 	return stats, nil
+}
+
+// commitSequences folds one successfully decoded document's children
+// sequences into the accumulator. Within each element the order of
+// observation is preserved, so symbols intern in stream order; distinct
+// elements have independent samples, so map iteration order is immaterial.
+func (x *Extraction) commitSequences(seqs map[string][][]string) {
+	for name, list := range seqs {
+		s := x.sampleOf(name)
+		for _, w := range list {
+			s.Add(w)
+		}
+	}
 }
 
 // recordAttribute folds one observed attribute value into the statistics.
@@ -165,10 +195,24 @@ func (x *Extraction) recordAttribute(element, attribute, value string) {
 	st.values[value]++
 }
 
+// sampleOf returns the element's counted sample, creating it on first use.
+func (x *Extraction) sampleOf(element string) *sample.Set {
+	s := x.Sequences[element]
+	if s == nil {
+		s = sample.New()
+		x.Sequences[element] = s
+	}
+	return s
+}
+
 // AddSequences injects pre-extracted strings for an element, used when the
-// sample is generated directly as strings rather than documents.
+// sample is generated directly as strings rather than documents. Duplicate
+// sequences fold into multiplicity counts.
 func (x *Extraction) AddSequences(element string, seqs [][]string) {
-	x.Sequences[element] = append(x.Sequences[element], seqs...)
+	s := x.sampleOf(element)
+	for _, w := range seqs {
+		s.Add(w)
+	}
 }
 
 // Root returns the most frequent root element name.
@@ -187,10 +231,21 @@ func (x *Extraction) Root() string {
 	return best
 }
 
-// InferFunc turns a sample of strings into a content expression. The
-// inference algorithms (iDTD, CRX, the baselines) are adapted to this shape
-// by the public API.
+// InferFunc turns a sample of strings into a content expression. It is the
+// compatibility shape for inferrers that want verbatim strings; the engine
+// hot path is InferSampleFunc.
 type InferFunc = func(sample [][]string) (*regex.Expr, error)
+
+// InferSampleFunc turns a counted, interned sample into a content
+// expression. This is the shape every registered engine consumes — string
+// conversion happens only at the corpus edge.
+type InferSampleFunc = func(s *sample.Set) (*regex.Expr, error)
+
+// adaptInfer lifts a string-sample inferrer to the counted shape by
+// expanding the multiset (duplicates appear with their multiplicities).
+func adaptInfer(infer InferFunc) InferSampleFunc {
+	return func(s *sample.Set) (*regex.Expr, error) { return infer(s.Strings()) }
+}
 
 // InferDTD builds a DTD from the accumulated sequences, applying the given
 // content-model inferrer to every element observed with child elements.
@@ -207,6 +262,20 @@ func (x *Extraction) InferDTD(infer InferFunc) (*DTD, error) {
 // timings from the worker pool (the stats are valid even when inference
 // of some element fails).
 func (x *Extraction) InferDTDStats(infer InferFunc) (*DTD, *InferStats, error) {
+	return x.InferDTDSampleStats(adaptInfer(infer))
+}
+
+// InferDTDSample is InferDTD for inferrers that consume the counted,
+// interned sample directly — no string expansion anywhere on the path.
+func (x *Extraction) InferDTDSample(infer InferSampleFunc) (*DTD, error) {
+	d, _, err := x.InferDTDSampleStats(infer)
+	return d, err
+}
+
+// InferDTDSampleStats is the inference engine behind every InferDTD
+// variant: a bounded worker pool infers one content model per element from
+// its counted sample, deterministically regardless of scheduling.
+func (x *Extraction) InferDTDSampleStats(infer InferSampleFunc) (*DTD, *InferStats, error) {
 	start := time.Now()
 	names := make([]string, 0, len(x.Sequences))
 	for n := range x.Sequences {
@@ -231,7 +300,7 @@ func (x *Extraction) InferDTDStats(infer InferFunc) (*DTD, *InferStats, error) {
 			elements[i], errs[i] = x.inferElement(name, infer)
 			timings[i] = ElementTiming{
 				Name:      name,
-				Sequences: len(x.Sequences[name]),
+				Sequences: x.Sequences[name].Total(),
 				Duration:  time.Since(t0),
 			}
 		}(i, name)
@@ -250,30 +319,16 @@ func (x *Extraction) InferDTDStats(infer InferFunc) (*DTD, *InferStats, error) {
 }
 
 // inferElement derives one element's declaration.
-func (x *Extraction) inferElement(name string, infer InferFunc) (*Element, error) {
+func (x *Extraction) inferElement(name string, infer InferSampleFunc) (*Element, error) {
 	seqs := x.Sequences[name]
-	hasChildren := false
-	childSet := map[string]bool{}
-	for _, s := range seqs {
-		if len(s) > 0 {
-			hasChildren = true
-		}
-		for _, c := range s {
-			childSet[c] = true
-		}
-	}
+	hasChildren := seqs.NumSymbols() > 0
 	switch {
 	case !hasChildren && x.HasText[name]:
 		return &Element{Name: name, Type: PCData}, nil
 	case !hasChildren:
 		return &Element{Name: name, Type: Empty}, nil
 	case x.HasText[name]:
-		mixed := make([]string, 0, len(childSet))
-		for c := range childSet {
-			mixed = append(mixed, c)
-		}
-		sort.Strings(mixed)
-		return &Element{Name: name, Type: Mixed, MixedNames: mixed}, nil
+		return &Element{Name: name, Type: Mixed, MixedNames: seqs.Symbols()}, nil
 	default:
 		model, err := infer(seqs)
 		if err != nil {

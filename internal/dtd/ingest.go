@@ -176,10 +176,12 @@ type Doc struct {
 // extraction is left exactly as it was.
 func (x *Extraction) AddDocumentOptions(r io.Reader, opts *IngestOptions) error {
 	stage := NewExtraction()
-	if _, err := stage.extractOne(r, opts); err != nil {
+	seqs := map[string][][]string{}
+	if _, err := stage.extractOne(r, opts, seqs); err != nil {
 		return err
 	}
 	x.Merge(stage)
+	x.commitSequences(seqs)
 	return nil
 }
 
@@ -211,10 +213,16 @@ func (x *Extraction) AddDocs(docs []Doc, opts *IngestOptions, policy ErrorPolicy
 // This is the single ingestion loop shared by the sequential and parallel
 // batch APIs (each parallel worker calls it on a private extraction).
 func ingestDocs(x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, policy ErrorPolicy, report *IngestReport) *DocumentError {
+	// One staging extraction and sequence buffer serve the whole batch,
+	// reset between documents, so per-document staging costs map clears
+	// instead of fresh map allocations.
+	stage := NewExtraction()
+	seqs := map[string][][]string{}
 	for i, doc := range docs {
 		report.Documents++
-		stage := NewExtraction()
-		stats, err := stage.extractOne(doc.R, opts)
+		stage.reset()
+		clear(seqs)
+		stats, err := stage.extractOne(doc.R, opts, seqs)
 		report.Bytes += stats.bytes
 		if err != nil {
 			report.Rejected++
@@ -229,8 +237,20 @@ func ingestDocs(x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, p
 		report.Tokens += stats.tokens
 		report.Elements += stats.elements
 		x.Merge(stage)
+		x.commitSequences(seqs)
 	}
 	return nil
+}
+
+// reset clears the extraction for reuse as a staging area, keeping the
+// allocated maps.
+func (x *Extraction) reset() {
+	clear(x.Sequences)
+	clear(x.HasText)
+	clear(x.TextSamples)
+	clear(x.Attributes)
+	clear(x.Roots)
+	x.Documents = 0
 }
 
 // Merge folds another extraction's observations into x, preserving the
@@ -240,7 +260,7 @@ func ingestDocs(x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, p
 // directly.
 func (x *Extraction) Merge(o *Extraction) {
 	for name, seqs := range o.Sequences {
-		x.Sequences[name] = append(x.Sequences[name], seqs...)
+		x.sampleOf(name).Merge(seqs)
 	}
 	for name, has := range o.HasText {
 		if has {

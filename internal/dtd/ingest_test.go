@@ -26,8 +26,9 @@ func snapshot(x *Extraction) string {
 	sort.Strings(names)
 	for _, n := range names {
 		fmt.Fprintf(&b, "seq %s:", n)
-		for _, s := range x.Sequences[n] {
-			fmt.Fprintf(&b, " [%s]", strings.Join(s, ","))
+		s := x.Sequences[n]
+		for i := 0; i < s.Unique(); i++ {
+			fmt.Fprintf(&b, " [%s]x%d", strings.Join(s.SeqStrings(i), ","), s.Count(i))
 		}
 		b.WriteByte('\n')
 	}
@@ -110,8 +111,8 @@ func TestAddDocumentAtomicOnParseError(t *testing.T) {
 	if err := x.AddDocument(strings.NewReader(goodDoc2)); err != nil {
 		t.Fatal(err)
 	}
-	if x.Documents != 2 || len(x.Sequences["rec"]) != 2 {
-		t.Errorf("post-failure ingestion broken: %d docs, rec=%v", x.Documents, x.Sequences["rec"])
+	if x.Documents != 2 || x.Sequences["rec"].Total() != 2 {
+		t.Errorf("post-failure ingestion broken: %d docs, rec=%v", x.Documents, x.Sequences["rec"].Strings())
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"dtdinfer/internal/core"
 	"dtdinfer/internal/datagen"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 	"dtdinfer/internal/sampling"
 )
 
@@ -91,16 +92,24 @@ func RunFigure4Panel(panel Figure4Panel, cfg *Figure4Config) PanelResult {
 	res.Targets[core.RewriteOnly] = res.Targets[core.IDTD]
 
 	alphabet := target.Symbols()
-	covers := sampling.CoversAlphabet(alphabet)
+	coversSet := sampling.CoversAlphabetSet(alphabet)
 	rng := rand.New(rand.NewSource(c.Seed + 7))
 	sizes := panelSizes(panel, len(alphabet), c.Steps)
+	// Each draw is interned into a counted set once; the coverage check is
+	// then one table lookup per alphabet symbol, and the accepted draw's
+	// set is shared by all three algorithms.
+	var subSet *smp.Set
+	covers := func(sub [][]string) bool {
+		subSet = smp.FromStrings(sub)
+		return coversSet(subSet)
+	}
 	for _, size := range sizes {
 		point := CurvePoint{Size: size, Fraction: map[core.Algorithm]float64{}}
 		hits := map[core.Algorithm]int{}
 		for t := 0; t < c.Trials; t++ {
-			sub := sampling.ReservoirEnsuring(rng, base, size, covers, 50)
+			sampling.ReservoirEnsuring(rng, base, size, covers, 50)
 			for _, algo := range Figure4Algorithms {
-				r := runAlgo(sub, algo, nil)
+				r := runAlgoSample(subSet, algo, nil)
 				if r.Err == nil && regex.EqualModuloUnionOrder(r.Expr, res.Targets[algo]) {
 					hits[algo]++
 				}

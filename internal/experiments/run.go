@@ -9,6 +9,7 @@ import (
 	"dtdinfer/internal/core"
 	"dtdinfer/internal/datagen"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 )
 
 // AlgoResult is the outcome of one algorithm on one sample.
@@ -24,8 +25,14 @@ type AlgoResult struct {
 }
 
 func runAlgo(sample [][]string, algo core.Algorithm, opts *core.Options) AlgoResult {
+	return runAlgoSample(smp.FromStrings(sample), algo, opts)
+}
+
+// runAlgoSample runs one algorithm on an already-built counted sample, so
+// callers comparing several algorithms on the same sample intern it once.
+func runAlgoSample(set *smp.Set, algo core.Algorithm, opts *core.Options) AlgoResult {
 	start := time.Now()
-	e, err := core.InferExpr(sample, algo, opts)
+	e, err := core.InferSampleExpr(set, algo, opts)
 	res := AlgoResult{Expr: e, Err: err, Duration: time.Since(start)}
 	if e != nil {
 		res.Tokens = e.Tokens()

@@ -6,6 +6,7 @@ import (
 
 	"dtdinfer/internal/core"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 	"dtdinfer/internal/xtract"
 )
 
@@ -30,14 +31,15 @@ func RunTable1(seed int64) []Table1Result {
 	for i, row := range Table1 {
 		truth := regex.MustParse(row.CorpusTruth)
 		sample := sampleFor(truth, row.SampleSize, seed+int64(i))
+		set := smp.FromStrings(sample)
 		res := Table1Result{Row: row}
-		res.CRX = runAlgo(sample, core.CRX, nil)
-		res.IDTD = runAlgo(sample, core.IDTD, nil)
-		xs := sample
+		res.CRX = runAlgoSample(set, core.CRX, nil)
+		res.IDTD = runAlgoSample(set, core.IDTD, nil)
+		xset := set
 		if row.XtractSize < len(sample) {
-			xs = sample[:row.XtractSize]
+			xset = smp.FromStrings(sample[:row.XtractSize])
 		}
-		res.Xtract = runAlgo(xs, core.XTRACT, &core.Options{
+		res.Xtract = runAlgoSample(xset, core.XTRACT, &core.Options{
 			XTRACT: xtract.Options{MaxStrings: 1000},
 		})
 		crxTruth := truth

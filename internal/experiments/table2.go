@@ -6,6 +6,7 @@ import (
 
 	"dtdinfer/internal/core"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 	"dtdinfer/internal/xtract"
 )
 
@@ -30,15 +31,16 @@ func RunTable2(seed int64) []Table2Result {
 	for i, row := range Table2 {
 		target := regex.MustParse(row.Original)
 		sample := sampleFor(target, row.SampleSize, seed+100+int64(i))
+		set := smp.FromStrings(sample)
 		res := Table2Result{Row: row}
-		res.CRX = runAlgo(sample, core.CRX, nil)
-		res.IDTD = runAlgo(sample, core.IDTD, nil)
-		res.Trang = runAlgo(sample, core.TrangLike, nil)
-		xs := sample
+		res.CRX = runAlgoSample(set, core.CRX, nil)
+		res.IDTD = runAlgoSample(set, core.IDTD, nil)
+		res.Trang = runAlgoSample(set, core.TrangLike, nil)
+		xset := set
 		if row.XtractSize < len(sample) {
-			xs = sample[:row.XtractSize]
+			xset = smp.FromStrings(sample[:row.XtractSize])
 		}
-		res.Xtract = runAlgo(xs, core.XTRACT, &core.Options{
+		res.Xtract = runAlgoSample(xset, core.XTRACT, &core.Options{
 			XTRACT: xtract.Options{MaxStrings: 1000},
 		})
 		res.CRXMatch = compare(res.CRX, regex.MustParse(row.PaperCRX))

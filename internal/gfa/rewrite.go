@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 	"dtdinfer/internal/soa"
 )
 
@@ -49,6 +50,13 @@ func Rewrite(a *soa.SOA) (*regex.Expr, error) {
 	g := FromSOA(a)
 	g.Saturate()
 	return g.Result()
+}
+
+// InferSample runs rewrite (without repair rules) over the 2T-INF
+// automaton of a counted, interned sample — the repair-free half of iDTD,
+// used to reproduce Figure 4's "rewrite" curve.
+func InferSample(s *smp.Set) (*regex.Expr, error) {
+	return Rewrite(soa.InferSample(s))
 }
 
 // Result extracts the regular expression of a saturated GFA. Besides the

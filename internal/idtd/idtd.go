@@ -18,6 +18,7 @@ package idtd
 import (
 	"dtdinfer/internal/gfa"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 	"dtdinfer/internal/soa"
 )
 
@@ -99,6 +100,13 @@ type Result struct {
 // strings in the sample).
 func Infer(sample [][]string, opts *Options) (*Result, error) {
 	return FromSOA(soa.Infer(sample), opts)
+}
+
+// InferSample is Infer on a counted, interned sample. Multiplicities flow
+// into the automaton's support counts, so the noise threshold of Options
+// sees exactly the occurrence statistics of the expanded strings.
+func InferSample(s *smp.Set, opts *Options) (*Result, error) {
+	return FromSOA(soa.InferSample(s), opts)
 }
 
 // FromSOA runs iDTD (Algorithm 2) on an already-inferred automaton.

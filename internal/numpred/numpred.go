@@ -7,6 +7,7 @@ package numpred
 
 import (
 	"dtdinfer/internal/regex"
+	"dtdinfer/internal/sample"
 )
 
 // Refine rewrites the repeatable factors of e whose operand is a single
@@ -21,13 +22,29 @@ import (
 // Other subexpressions are preserved. The result denotes a subset of L(e)
 // that still contains every sample string.
 func Refine(e *regex.Expr, sample [][]string) *regex.Expr {
-	return refine(e, sample)
+	return refine(e, func(class map[string]bool) (min, max int, seen bool) {
+		return runStats(class, sample)
+	})
 }
 
-func refine(e *regex.Expr, sample [][]string) *regex.Expr {
+// RefineSample is Refine on a counted, interned sample. The minimal and
+// maximal run lengths are scanned over each unique sequence once —
+// multiplicities cannot change a min or max, so the result is identical to
+// Refine on the expanded strings at a fraction of the scanning cost.
+func RefineSample(e *regex.Expr, s *sample.Set) *regex.Expr {
+	return refine(e, func(class map[string]bool) (min, max int, seen bool) {
+		return runStatsSample(class, s)
+	})
+}
+
+// statsFunc reports the shortest and longest maximal run of class symbols
+// over the whole sample, and whether any run occurred.
+type statsFunc func(class map[string]bool) (min, max int, seen bool)
+
+func refine(e *regex.Expr, stats statsFunc) *regex.Expr {
 	if e.Op == regex.OpPlus {
 		if class, ok := symbolClass(e.Sub()); ok {
-			min, max, seen := runStats(class, sample)
+			min, max, seen := stats(class)
 			switch {
 			case !seen || min < 2:
 				return e
@@ -44,7 +61,7 @@ func refine(e *regex.Expr, sample [][]string) *regex.Expr {
 	c := &regex.Expr{Op: e.Op, Name: e.Name, Min: e.Min, Max: e.Max}
 	c.Subs = make([]*regex.Expr, len(e.Subs))
 	for i, s := range e.Subs {
-		c.Subs[i] = refine(s, sample)
+		c.Subs[i] = refine(s, stats)
 	}
 	return c
 }
@@ -68,33 +85,64 @@ func symbolClass(e *regex.Expr) (map[string]bool, bool) {
 	return nil, false
 }
 
+// runTracker accumulates min/max over maximal run lengths.
+type runTracker struct {
+	min, max int
+	seen     bool
+	run      int
+}
+
+func (t *runTracker) step(inClass bool) {
+	if inClass {
+		t.run++
+		return
+	}
+	t.flush()
+}
+
+func (t *runTracker) flush() {
+	if t.run == 0 {
+		return
+	}
+	if !t.seen || t.run < t.min {
+		t.min = t.run
+	}
+	if t.run > t.max {
+		t.max = t.run
+	}
+	t.seen = true
+	t.run = 0
+}
+
 // runStats scans the sample for maximal runs of symbols from the class and
 // returns the shortest and longest run lengths, plus whether any run was
 // seen at all.
 func runStats(class map[string]bool, sample [][]string) (min, max int, seen bool) {
+	var t runTracker
 	for _, w := range sample {
-		run := 0
-		flush := func() {
-			if run == 0 {
-				return
-			}
-			if !seen || run < min {
-				min = run
-			}
-			if run > max {
-				max = run
-			}
-			seen = true
-			run = 0
-		}
 		for _, s := range w {
-			if class[s] {
-				run++
-			} else {
-				flush()
-			}
+			t.step(class[s])
 		}
-		flush()
+		t.flush()
 	}
-	return min, max, seen
+	return t.min, t.max, t.seen
+}
+
+// runStatsSample scans each unique sequence of a counted sample once,
+// resolving the class to interned IDs up front.
+func runStatsSample(class map[string]bool, s *sample.Set) (min, max int, seen bool) {
+	inClass := make([]bool, s.NumSymbols())
+	for sym := range class {
+		if id, ok := s.Lookup(sym); ok {
+			inClass[id] = true
+		}
+	}
+	var t runTracker
+	s.ForEach(func(w []int32, _ int) {
+		for _, id := range w {
+			t.step(inClass[id])
+		}
+		t.flush()
+	})
+	return t.min, t.max, t.seen
 }

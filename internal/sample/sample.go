@@ -1,0 +1,222 @@
+// Package sample provides the counted, symbol-interned sample
+// representation that every inference engine consumes: a multiset of
+// children sequences stored as unique interned-ID sequences with
+// multiplicities. Real-world corpora are dominated by repeated sequences,
+// so deduplicating at ingestion makes the per-element sample size
+// proportional to the number of *distinct* sequences, and interning once
+// at the corpus edge removes the per-algorithm cost of re-interning
+// strings on every inference call. Multiplicities keep the representation
+// lossless: occurrence-count-sensitive consumers (CRX quantifiers, SOA
+// edge supports, numeric predicates) see exactly the statistics of the
+// expanded string multiset.
+package sample
+
+import (
+	"sort"
+
+	"dtdinfer/internal/intern"
+)
+
+// Set is a counted multiset of symbol sequences: an intern table over the
+// element names, the unique sequences in first-seen order, and a
+// multiplicity per unique sequence. The zero value is not usable; call New
+// or FromStrings. A Set is not safe for concurrent mutation; concurrent
+// reads are fine once building has finished.
+type Set struct {
+	tab *intern.Table
+	// seqs holds each distinct sequence once, as interned IDs, in the
+	// order first observed.
+	seqs [][]int32
+	// counts[i] is the multiplicity of seqs[i]; always >= 1.
+	counts []int
+	// index maps an encoded sequence to its position in seqs.
+	index map[string]int
+	// total is the sum of counts: the size of the expanded multiset.
+	total int
+	// keyBuf is the reusable encoding buffer for index lookups.
+	keyBuf []byte
+}
+
+// New returns an empty Set.
+func New() *Set {
+	return &Set{tab: intern.NewTable(), index: map[string]int{}}
+}
+
+// FromStrings builds a Set from a verbatim sample, interning symbols in
+// first-seen order and counting duplicate sequences.
+func FromStrings(sample [][]string) *Set {
+	s := New()
+	for _, w := range sample {
+		s.Add(w)
+	}
+	return s
+}
+
+// Add folds one sequence into the multiset.
+func (s *Set) Add(w []string) { s.AddCount(w, 1) }
+
+// AddCount folds n occurrences of one sequence into the multiset. n <= 0
+// is a no-op. The hot path — a sequence seen before — is allocation-free:
+// symbols are interned and encoded into the reusable key buffer, and the
+// ID slice is only materialized on first sight.
+func (s *Set) AddCount(w []string, n int) {
+	if n <= 0 {
+		return
+	}
+	for _, sym := range w {
+		s.keyBuf = appendID(s.keyBuf, int32(s.tab.Intern(sym)))
+	}
+	s.bump(nil, n)
+}
+
+// addIDs folds n occurrences of a sequence already expressed in s's own ID
+// space (every ID must be interned). Used by Merge.
+func (s *Set) addIDs(ids []int32, n int) {
+	for _, id := range ids {
+		s.keyBuf = appendID(s.keyBuf, id)
+	}
+	s.bump(ids, n)
+}
+
+// bump adds n to the sequence encoded in keyBuf, registering it as a new
+// unique sequence when unseen; ids, when non-nil, is used as the stored
+// sequence (bump takes ownership), otherwise the IDs are decoded from the
+// key. keyBuf is left empty so two Sets holding the same multiset compare
+// equal under reflect.DeepEqual regardless of insertion history.
+func (s *Set) bump(ids []int32, n int) {
+	if i, ok := s.index[string(s.keyBuf)]; ok {
+		s.counts[i] += n
+	} else {
+		if ids == nil {
+			ids = decodeKey(s.keyBuf)
+		}
+		s.index[string(s.keyBuf)] = len(s.seqs)
+		s.seqs = append(s.seqs, ids)
+		s.counts = append(s.counts, n)
+	}
+	s.total += n
+	s.keyBuf = s.keyBuf[:0]
+}
+
+func appendID(buf []byte, id int32) []byte {
+	return append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+}
+
+func decodeKey(key []byte) []int32 {
+	ids := make([]int32, len(key)/4)
+	for i := range ids {
+		k := key[i*4:]
+		ids[i] = int32(k[0]) | int32(k[1])<<8 | int32(k[2])<<16 | int32(k[3])<<24
+	}
+	return ids
+}
+
+// Merge folds another Set into s: multiplicities of shared sequences add,
+// new sequences append in o's first-seen order. Merge(a); Merge(b) is
+// equivalent to adding a's and b's expanded strings in order, so counted
+// shard commits stay byte-identical to sequential ingestion.
+func (s *Set) Merge(o *Set) {
+	if o == nil {
+		return
+	}
+	remap := make([]int32, o.tab.Len())
+	for oid := 0; oid < o.tab.Len(); oid++ {
+		remap[oid] = int32(s.tab.Intern(o.tab.Name(oid)))
+	}
+	for i, seq := range o.seqs {
+		ids := make([]int32, len(seq))
+		for j, oid := range seq {
+			ids[j] = remap[oid]
+		}
+		s.addIDs(ids, o.counts[i])
+	}
+}
+
+// Clone returns an independent deep copy.
+func (s *Set) Clone() *Set {
+	c := New()
+	c.Merge(s)
+	return c
+}
+
+// Total returns the size of the expanded multiset (sequences counted with
+// multiplicity).
+func (s *Set) Total() int { return s.total }
+
+// Unique returns the number of distinct sequences.
+func (s *Set) Unique() int { return len(s.seqs) }
+
+// NumSymbols returns the size of the interned ID space; valid symbol IDs
+// are [0, NumSymbols).
+func (s *Set) NumSymbols() int { return s.tab.Len() }
+
+// Name returns the symbol interned at id. It panics on an unassigned id.
+func (s *Set) Name(id int) string { return s.tab.Name(id) }
+
+// Lookup returns the ID of a symbol without interning it. Because the
+// table only ever interns symbols that occur in added sequences, a
+// successful lookup means the symbol occurs in the sample.
+func (s *Set) Lookup(sym string) (int, bool) { return s.tab.Lookup(sym) }
+
+// Symbols returns the sorted alphabet of the sample.
+func (s *Set) Symbols() []string {
+	out := make([]string, s.tab.Len())
+	for id := range out {
+		out[id] = s.tab.Name(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Seq returns the i-th unique sequence as interned IDs. The slice is
+// shared with the Set and must not be mutated.
+func (s *Set) Seq(i int) []int32 { return s.seqs[i] }
+
+// Count returns the multiplicity of the i-th unique sequence.
+func (s *Set) Count(i int) int { return s.counts[i] }
+
+// ForEach calls f once per unique sequence, in first-seen order, with its
+// multiplicity. The seq slice is shared and must not be mutated.
+func (s *Set) ForEach(f func(seq []int32, count int)) {
+	for i, seq := range s.seqs {
+		f(seq, s.counts[i])
+	}
+}
+
+// SeqStrings returns the i-th unique sequence as symbol strings.
+func (s *Set) SeqStrings(i int) []string {
+	return s.expand(s.seqs[i])
+}
+
+func (s *Set) expand(seq []int32) []string {
+	w := make([]string, len(seq))
+	for j, id := range seq {
+		w[j] = s.tab.Name(int(id))
+	}
+	return w
+}
+
+// Strings expands the multiset back to a verbatim sample: each unique
+// sequence appears count times, consecutively, in first-seen order. The
+// expansion is lossless up to the ordering of duplicates — it contains
+// exactly the same sequences with the same multiplicities as the strings
+// that were added.
+func (s *Set) Strings() [][]string {
+	out := make([][]string, 0, s.total)
+	for i, seq := range s.seqs {
+		w := s.expand(seq)
+		for n := 0; n < s.counts[i]; n++ {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// UniqueStrings expands only the distinct sequences, in first-seen order.
+func (s *Set) UniqueStrings() [][]string {
+	out := make([][]string, len(s.seqs))
+	for i, seq := range s.seqs {
+		out[i] = s.expand(seq)
+	}
+	return out
+}

@@ -4,7 +4,11 @@
 // each size").
 package sampling
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"dtdinfer/internal/sample"
+)
 
 // Reservoir draws a uniform random subsample of size k from the population
 // using Vitter's algorithm R. When k >= len(population) a copy of the whole
@@ -42,17 +46,40 @@ func ReservoirEnsuring[T any](rng *rand.Rand, population []T, k int,
 }
 
 // CoversAlphabet returns a predicate checking that a subsample of strings
-// mentions every symbol of the alphabet.
+// mentions every symbol of the alphabet. The alphabet set is built once at
+// construction, not per draw — ReservoirEnsuring calls the predicate up to
+// maxTries times — and each draw scans with an early exit once every
+// symbol has been found.
 func CoversAlphabet(alphabet []string) func([][]string) bool {
-	return func(sample [][]string) bool {
-		seen := map[string]bool{}
-		for _, w := range sample {
+	need := make(map[string]bool, len(alphabet))
+	for _, a := range alphabet {
+		need[a] = true
+	}
+	return func(subsample [][]string) bool {
+		missing := len(need)
+		seen := make(map[string]bool, len(need))
+		for _, w := range subsample {
 			for _, s := range w {
-				seen[s] = true
+				if need[s] && !seen[s] {
+					seen[s] = true
+					missing--
+					if missing == 0 {
+						return true
+					}
+				}
 			}
 		}
+		return missing == 0
+	}
+}
+
+// CoversAlphabetSet is CoversAlphabet for counted samples: a sample.Set
+// interns exactly the symbols occurring in its sequences, so coverage is
+// one table lookup per alphabet symbol, independent of sample size.
+func CoversAlphabetSet(alphabet []string) func(*sample.Set) bool {
+	return func(s *sample.Set) bool {
 		for _, a := range alphabet {
-			if !seen[a] {
+			if _, ok := s.Lookup(a); !ok {
 				return false
 			}
 		}

@@ -27,6 +27,7 @@ import (
 
 	"dtdinfer/internal/intern"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 )
 
 // Source and Sink are the reserved names of the virtual initial and final
@@ -92,6 +93,53 @@ func Infer(sample [][]string) *SOA {
 	return a
 }
 
+// InferSample is Infer on a counted, interned sample: each unique
+// sequence is processed once and contributes its multiplicity to every
+// support count, producing the same automaton byte for byte as Infer on
+// the expanded strings.
+func InferSample(s *smp.Set) *SOA {
+	a := New()
+	a.AddSample(s)
+	return a
+}
+
+// AddSample folds a counted sample into the automaton. Symbol IDs are
+// remapped from the sample's intern table once per call, so no string
+// hashing happens on the per-sequence path.
+func (a *SOA) AddSample(s *smp.Set) {
+	remap := make([]int, s.NumSymbols())
+	for i := range remap {
+		remap[i] = -1
+	}
+	s.ForEach(func(w []int32, n int) {
+		a.total += n
+		if len(w) == 0 {
+			a.emptyCount += n
+			return
+		}
+		a.gen++
+		prev := SourceID
+		for _, sid := range w {
+			id := remap[sid]
+			if id < 0 {
+				name := s.Name(int(sid))
+				if name == Source || name == Sink {
+					panic(fmt.Sprintf("soa: reserved symbol %q in sample", name))
+				}
+				id = a.internID(name)
+				remap[sid] = id
+			}
+			if a.lastSeen[id] != a.gen {
+				a.lastSeen[id] = a.gen
+				a.symSupport[id] += n
+			}
+			a.bumpIDCount(prev, id, n)
+			prev = id
+		}
+		a.bumpIDCount(prev, SinkID, n)
+	})
+}
+
 // internID interns an element name and marks it alive, growing the
 // per-symbol slices when the ID is new.
 func (a *SOA) internID(s string) int {
@@ -141,7 +189,10 @@ func (a *SOA) AddString(w []string) {
 }
 
 // bumpID increments the support of an edge given by interned IDs.
-func (a *SOA) bumpID(from, to int) {
+func (a *SOA) bumpID(from, to int) { a.bumpIDCount(from, to, 1) }
+
+// bumpIDCount adds n to the support of an edge given by interned IDs.
+func (a *SOA) bumpIDCount(from, to, n int) {
 	row := a.edges[from]
 	if len(row) <= to {
 		grown := make([]int, a.tab.Len())
@@ -152,7 +203,7 @@ func (a *SOA) bumpID(from, to int) {
 	if row[to] == 0 {
 		a.edgeCount++
 	}
-	row[to]++
+	row[to] += n
 }
 
 // supportID returns the support of an edge given by interned IDs.

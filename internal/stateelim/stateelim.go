@@ -11,11 +11,18 @@ import (
 	"errors"
 
 	"dtdinfer/internal/regex"
+	"dtdinfer/internal/sample"
 	"dtdinfer/internal/soa"
 )
 
 // ErrEmptyLanguage is returned when the automaton accepts no string.
 var ErrEmptyLanguage = errors.New("stateelim: automaton accepts no strings")
+
+// InferSample runs state elimination over the 2T-INF automaton of a
+// counted, interned sample.
+func InferSample(s *sample.Set) (*regex.Expr, error) {
+	return FromSOA(soa.InferSample(s))
+}
 
 // label is a GNFA edge label: a regular language given by an optional
 // expression plus an optional ε. A nil entry in the edge map means the

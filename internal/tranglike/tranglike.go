@@ -15,12 +15,19 @@ import (
 
 	"dtdinfer/internal/gfa"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 	"dtdinfer/internal/soa"
 )
 
 // Infer runs the Trang-like pipeline on a sample.
 func Infer(sample [][]string) (*regex.Expr, error) {
 	return FromSOA(soa.Infer(sample))
+}
+
+// InferSample is Infer on a counted, interned sample: the automaton is
+// built from each unique sequence once.
+func InferSample(s *smp.Set) (*regex.Expr, error) {
+	return FromSOA(soa.InferSample(s))
 }
 
 // FromSOA converts an inferred automaton into a regular expression:

@@ -24,6 +24,7 @@ import (
 
 	"dtdinfer/internal/automata"
 	"dtdinfer/internal/regex"
+	smp "dtdinfer/internal/sample"
 )
 
 // ErrTooLarge reports a sample beyond MaxStrings distinct strings,
@@ -57,8 +58,23 @@ func (o *Options) withDefaults() Options {
 
 // Infer runs the XTRACT pipeline and returns the inferred expression.
 func Infer(sample [][]string, opts *Options) (*regex.Expr, error) {
+	return inferDistinct(dedup(sample), opts)
+}
+
+// InferSample is Infer on a counted, interned sample. XTRACT operates on
+// distinct strings only (multiplicities never enter its MDL objective), so
+// the counted representation hands it exactly the deduplication it
+// otherwise performs itself, and the result is identical to Infer on the
+// expanded strings.
+func InferSample(s *smp.Set, opts *Options) (*regex.Expr, error) {
+	distinct := s.UniqueStrings()
+	sort.Slice(distinct, func(i, j int) bool { return key(distinct[i]) < key(distinct[j]) })
+	return inferDistinct(distinct, opts)
+}
+
+// inferDistinct runs the pipeline over deduplicated, key-sorted strings.
+func inferDistinct(distinct [][]string, opts *Options) (*regex.Expr, error) {
 	o := opts.withDefaults()
-	distinct := dedup(sample)
 	if len(distinct) == 0 {
 		return nil, errors.New("xtract: empty sample")
 	}

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race check bench bench-smoke
+.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,21 +22,31 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
 
 check: fmt-check vet race
 
 # bench records the perf-trajectory workloads (Section 8.3 timings, the
 # end-to-end pipeline at several ingestion worker counts, the isolated
 # sharded-ingestion benchmark, and the dedup-vs-verbatim sample pipeline
-# comparison) as BENCH_PR3.json via cmd/benchjson.
+# comparison) as BENCH_PR4.json via cmd/benchjson.
 BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDedup
 BENCH_COUNT ?= 3x
 
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_COUNT) . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR3.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
 
 # bench-smoke is the CI gate: every benchmark must run once without failing.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# fuzz-smoke runs each fuzz target briefly; go permits one -fuzz target
+# per invocation, hence four commands.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/dtd
+	$(GO) test -run xxx -fuzz FuzzExtraction -fuzztime $(FUZZTIME) ./internal/dtd
+	$(GO) test -run xxx -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/sample
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/regex

@@ -33,7 +33,10 @@ import (
 func BenchmarkConcisenessStateElimVsRewrite(b *testing.B) {
 	b.Run("rewrite", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			r := experiments.RunConciseness()
+			r, err := experiments.RunConciseness()
+			if err != nil {
+				b.Fatal(err)
+			}
 			if r.RewriteTokens != 12 {
 				b.Fatalf("rewrite tokens = %d", r.RewriteTokens)
 			}
@@ -119,9 +122,12 @@ func BenchmarkFigure4(b *testing.B) {
 	for _, panel := range experiments.Figure4 {
 		b.Run(panel.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r := experiments.RunFigure4Panel(panel, &experiments.Figure4Config{
+				r, err := experiments.RunFigure4Panel(panel, &experiments.Figure4Config{
 					Trials: 5, Steps: 6, Seed: 1,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
 				if len(r.Points) == 0 {
 					b.Fatal("no curve points")
 				}

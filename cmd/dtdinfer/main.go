@@ -5,6 +5,8 @@
 //	dtdinfer [-algo idtd|crx|xtract|trang|stateelim] [-format dtd|xsd]
 //	         [-numeric] [-noise N] [-skip-malformed] [-stats] [-j N]
 //	         [-max-depth N] [-max-tokens N] [-max-names N] [-max-bytes N]
+//	         [-timeout D] [-max-soa-states N] [-max-expr-size N]
+//	         [-degrade ladder|fail]
 //	         file.xml [file2.xml ...]
 //
 // With no files, one document is read from standard input. The default
@@ -18,13 +20,23 @@
 // the ingestion report and per-element inference timings to standard error.
 // -j shards document decoding across N worker goroutines (0 = GOMAXPROCS);
 // the result is byte-identical at every worker count.
+//
+// Robustness: -timeout caps each element's inference wall clock,
+// -max-soa-states and -max-expr-size cap the automaton and output sizes,
+// and -degrade selects what happens when an element's engine fails, runs
+// over budget, or panics. The default ladder falls back to CRX and then to
+// the universal content model (a1|...|an)* so the run always produces a
+// schema (degradations are listed by -stats); -degrade=fail aborts instead.
+// An interrupt (Ctrl-C) cancels decoding and inference promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"dtdinfer/internal/contextual"
 	"dtdinfer/internal/core"
@@ -46,6 +58,10 @@ func main() {
 	maxTokens := flag.Int64("max-tokens", 0, "cap XML tokens per document (0 = unlimited)")
 	maxNames := flag.Int("max-names", 0, "cap distinct element names per document (0 = unlimited)")
 	maxBytes := flag.Int64("max-bytes", 0, "cap input bytes per document (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "cap each element's inference wall clock (0 = unlimited)")
+	maxSOAStates := flag.Int("max-soa-states", 0, "cap the automaton states an engine may process per element (0 = unlimited)")
+	maxExprSize := flag.Int("max-expr-size", 0, "cap the token count of an inferred content model (0 = unlimited)")
+	degrade := flag.String("degrade", "ladder", "on engine failure or exceeded budget: ladder (fall back to crx, then (a1|...|an)*) or fail")
 	flag.Parse()
 
 	algo, err := core.ParseAlgorithm(*algoName)
@@ -54,6 +70,19 @@ func main() {
 	}
 	opts := &core.Options{NumericPredicates: *numeric, Parallelism: *parallel}
 	opts.IDTD.NoiseThreshold = *noise
+	opts.Budget = core.Budget{
+		Deadline:     *timeout,
+		MaxSOAStates: *maxSOAStates,
+		MaxExprSize:  *maxExprSize,
+	}
+	switch *degrade {
+	case "ladder":
+		opts.Degrade = core.DegradeLadder
+	case "fail":
+		opts.Degrade = core.DegradeFail
+	default:
+		fatal(fmt.Errorf("unknown -degrade mode %q (want ladder or fail)", *degrade))
+	}
 
 	ingest := &dtd.IngestOptions{}
 	if *hardened {
@@ -81,17 +110,23 @@ func main() {
 		return
 	}
 
+	// An interrupt cancels the context; decoding workers and engine hot
+	// loops observe it cooperatively and the run exits promptly with the
+	// corpus state discarded rather than torn.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	docs := openDocs()
 	defer closeDocs(docs)
 	x := dtd.NewExtraction()
-	report, err := x.AddDocsParallel(docs, opts.Parallelism, ingest, policy)
+	report, err := x.AddDocsParallelContext(ctx, docs, opts.Parallelism, ingest, policy)
 	if err != nil {
 		if *stats {
 			fmt.Fprintln(os.Stderr, report)
 		}
 		fatal(err)
 	}
-	d, inferStats, err := core.InferDTDFromExtractionStats(x, algo, opts)
+	d, inferStats, err := core.InferDTDFromExtractionContext(ctx, x, algo, opts)
 	if *stats {
 		fmt.Fprintln(os.Stderr, report)
 		if inferStats != nil {

@@ -26,36 +26,29 @@ func main() {
 	csv := flag.Bool("csv", false, "emit Figure 4 curves as CSV for plotting")
 	flag.Parse()
 
-	run := func(name string) {
-		switch name {
-		case "table1":
-			fmt.Println(experiments.FormatTable1(experiments.RunTable1(*seed)))
-		case "table2":
-			fmt.Println(experiments.FormatTable2(experiments.RunTable2(*seed)))
-		case "figure4":
-			cfg := &experiments.Figure4Config{Trials: *trials, Steps: *steps, Seed: *seed}
-			results := experiments.RunFigure4(cfg)
-			if *csv {
-				fmt.Print(experiments.FormatFigure4CSV(results))
-			} else {
-				fmt.Println(experiments.FormatFigure4(results))
-			}
-		case "perf":
-			fmt.Println(experiments.FormatPerf(experiments.RunPerf(*seed)))
-		case "conciseness":
-			fmt.Println(experiments.FormatConciseness(experiments.RunConciseness()))
-		case "ablation":
-			fmt.Println(experiments.FormatAblation(experiments.RunAblation(*seed)))
-		default:
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
-			os.Exit(2)
-		}
-	}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Steps: *steps, CSV: *csv}
 	if *exp == "all" {
-		for _, name := range []string{"conciseness", "table1", "table2", "figure4", "perf", "ablation"} {
-			run(name)
+		// One failing experiment is reported and the rest still run; the
+		// exit status records that something failed.
+		failed := false
+		for _, name := range experiments.Names() {
+			out, err := experiments.Run(name, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+				failed = true
+				continue
+			}
+			fmt.Println(out)
+		}
+		if failed {
+			os.Exit(1)
 		}
 		return
 	}
-	run(*exp)
+	out, err := experiments.Run(*exp, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println(out)
 }

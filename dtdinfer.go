@@ -29,6 +29,7 @@
 package dtdinfer
 
 import (
+	"context"
 	"io"
 
 	"dtdinfer/internal/contextual"
@@ -69,6 +70,29 @@ func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm
 // Options tune the engines; the zero value (or nil) uses the paper's
 // settings (k = 2 for iDTD's repair rules, 1000-string cap for XTRACT).
 type Options = core.Options
+
+// Budget caps the resources one element's inference may consume: a
+// wall-clock deadline, an automaton state count, and an output expression
+// size. The zero value applies no caps.
+type Budget = core.Budget
+
+// DegradeMode selects the reaction when an element's engine fails,
+// exceeds its Budget, or panics.
+type DegradeMode = core.DegradeMode
+
+const (
+	// DegradeFail propagates the failure, aborting the whole inference
+	// (the default for library callers).
+	DegradeFail = core.DegradeFail
+	// DegradeLadder falls back per element: configured engine, then CRX,
+	// then the universal content model (a1|...|an)*. The accepted rung is
+	// recorded in the InferStats outcomes.
+	DegradeLadder = core.DegradeLadder
+)
+
+// ElementOutcome records which engine produced an element's content model
+// and whether (and why) inference degraded.
+type ElementOutcome = dtd.ElementOutcome
 
 // IDTDOptions configure the iDTD repair rules and noise handling.
 type IDTDOptions = idtd.Options
@@ -164,6 +188,15 @@ func InferDTD(docs []io.Reader, algo Algorithm, opts *Options) (*DTD, error) {
 	return core.InferDTD(docs, algo, opts)
 }
 
+// InferDTDContext is InferDTD under a context: cancellation propagates
+// into the XML decode loops and every engine's hot loop, and opts.Budget
+// and opts.Degrade govern per-element resource caps and the degradation
+// ladder. A cancelled call returns ctx.Err() promptly without leaking
+// goroutines.
+func InferDTDContext(ctx context.Context, docs []io.Reader, algo Algorithm, opts *Options) (*DTD, error) {
+	return core.InferDTDContext(ctx, docs, algo, opts)
+}
+
 // InferDTDFromExtraction infers a DTD from pre-extracted sequences,
 // supporting incremental workflows where extraction state is kept while new
 // documents arrive.
@@ -175,6 +208,12 @@ func InferDTDFromExtraction(x *Extraction, algo Algorithm, opts *Options) (*DTD,
 // detection over the sampled text values.
 func InferXSD(docs []io.Reader, algo Algorithm, opts *Options) (string, error) {
 	return core.InferXSD(docs, algo, opts)
+}
+
+// InferXSDContext is InferXSD under a context, with the same cancellation
+// and budget semantics as InferDTDContext.
+func InferXSDContext(ctx context.Context, docs []io.Reader, algo Algorithm, opts *Options) (string, error) {
+	return core.InferXSDContext(ctx, docs, algo, opts)
 }
 
 // GenerateXSD renders an existing DTD as XML Schema; textSamples (may be

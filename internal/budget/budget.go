@@ -1,0 +1,87 @@
+// Package budget carries per-element inference budgets through a
+// context.Context and defines the error the engines report when a budget
+// is exceeded. The wall-clock part of a budget is the context deadline
+// itself (set by the dispatcher with context.WithTimeout); this package
+// carries the structural limits — automaton states and expression size —
+// that a deadline alone cannot enforce early.
+//
+// Engines consult the limits at their natural choke points: the SOA-based
+// engines check MaxSOAStates once the automaton's alphabet is known, and
+// the dispatcher checks MaxExprSize on every returned expression. A
+// context without limits (the default) checks nothing.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Limits are the structural budget caps. The zero value imposes none.
+type Limits struct {
+	// MaxSOAStates caps the number of symbol states of the single
+	// occurrence automaton an engine may build (0 = unlimited). The SOA
+	// has one state per alphabet symbol plus two virtual states; the cap
+	// counts the symbol states only.
+	MaxSOAStates int
+	// MaxExprSize caps the token count of an inferred content-model
+	// expression (0 = unlimited).
+	MaxExprSize int
+}
+
+// Zero reports whether the limits impose nothing.
+func (l Limits) Zero() bool { return l == Limits{} }
+
+// ErrBudget matches (with errors.Is) every exceeded budget.
+var ErrBudget = errors.New("budget exceeded")
+
+// LimitError reports which budget cap was exceeded.
+type LimitError struct {
+	// Limit names the exceeded cap: "soa-states" or "expr-size".
+	Limit string
+	// Max is the configured cap, Actual the observed value.
+	Max, Actual int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("budget: %s %d exceeds limit %d", e.Limit, e.Actual, e.Max)
+}
+
+// Is makes errors.Is(err, ErrBudget) true for every exceeded cap.
+func (e *LimitError) Is(target error) bool { return target == ErrBudget }
+
+// key is the private context key type for Limits.
+type key struct{}
+
+// With returns a context carrying the limits. Zero limits return ctx
+// unchanged.
+func With(ctx context.Context, l Limits) context.Context {
+	if l.Zero() {
+		return ctx
+	}
+	return context.WithValue(ctx, key{}, l)
+}
+
+// From extracts the limits carried by ctx (zero when none).
+func From(ctx context.Context) Limits {
+	l, _ := ctx.Value(key{}).(Limits)
+	return l
+}
+
+// CheckStates verifies an automaton state count against the context's
+// MaxSOAStates cap.
+func CheckStates(ctx context.Context, states int) error {
+	if l := From(ctx); l.MaxSOAStates > 0 && states > l.MaxSOAStates {
+		return &LimitError{Limit: "soa-states", Max: l.MaxSOAStates, Actual: states}
+	}
+	return nil
+}
+
+// CheckExprSize verifies an expression token count against the context's
+// MaxExprSize cap.
+func CheckExprSize(ctx context.Context, tokens int) error {
+	if l := From(ctx); l.MaxExprSize > 0 && tokens > l.MaxExprSize {
+		return &LimitError{Limit: "expr-size", Max: l.MaxExprSize, Actual: tokens}
+	}
+	return nil
+}

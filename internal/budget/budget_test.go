@@ -1,0 +1,49 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestZeroContextChecksNothing(t *testing.T) {
+	ctx := context.Background()
+	if err := CheckStates(ctx, 1<<30); err != nil {
+		t.Errorf("CheckStates on limitless context = %v", err)
+	}
+	if err := CheckExprSize(ctx, 1<<30); err != nil {
+		t.Errorf("CheckExprSize on limitless context = %v", err)
+	}
+	if With(ctx, Limits{}) != ctx {
+		t.Error("With(zero limits) should return the context unchanged")
+	}
+}
+
+func TestLimitsEnforced(t *testing.T) {
+	ctx := With(context.Background(), Limits{MaxSOAStates: 10, MaxExprSize: 20})
+	if err := CheckStates(ctx, 10); err != nil {
+		t.Errorf("at the cap should pass: %v", err)
+	}
+	err := CheckStates(ctx, 11)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("over the cap = %v, want ErrBudget", err)
+	}
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != "soa-states" || le.Max != 10 || le.Actual != 11 {
+		t.Errorf("limit error = %+v", le)
+	}
+	if err := CheckExprSize(ctx, 21); !errors.Is(err, ErrBudget) {
+		t.Errorf("expr-size over the cap = %v, want ErrBudget", err)
+	}
+}
+
+func TestFromRoundTrip(t *testing.T) {
+	l := Limits{MaxSOAStates: 3}
+	ctx := With(context.Background(), l)
+	if got := From(ctx); got != l {
+		t.Errorf("From = %+v, want %+v", got, l)
+	}
+	if got := From(context.Background()); !got.Zero() {
+		t.Errorf("From(background) = %+v, want zero", got)
+	}
+}

@@ -9,9 +9,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"dtdinfer/internal/crx"
 	"dtdinfer/internal/dtd"
@@ -45,6 +47,50 @@ const (
 	StateElim Algorithm = "stateelim"
 )
 
+// Budget caps the resources one element's inference may consume. The zero
+// value applies no caps. Budgets are enforced cooperatively: the deadline
+// becomes a per-element context timeout, and the structural caps are
+// carried in the context and checked by every engine at its blow-up
+// points (automaton size before the expensive phase, expression size after
+// it).
+type Budget struct {
+	// Deadline is the wall-clock cap per element (0 = none).
+	Deadline time.Duration
+	// MaxSOAStates caps the automaton alphabet size an engine may process
+	// (0 = none). Engines whose cost is superlinear in states — state
+	// elimination above all — fail fast instead of blowing up.
+	MaxSOAStates int
+	// MaxExprSize caps the token count of an accepted expression (0 =
+	// none), rejecting page-filling outputs a human would never read.
+	MaxExprSize int
+}
+
+// DegradeMode selects what happens when an element's configured engine
+// fails, exceeds its budget, or panics.
+type DegradeMode int
+
+const (
+	// DegradeFail propagates the failure, aborting the whole inference —
+	// the historical behaviour and the zero value, so existing library
+	// callers are unaffected.
+	DegradeFail DegradeMode = iota
+	// DegradeLadder walks the degradation ladder instead: the configured
+	// engine, then CRX (cheap, linear, cannot blow up), then the universal
+	// content model (a1|...|an)* over the element's observed children. The
+	// accepted rung is recorded in the element's ElementOutcome.
+	DegradeLadder
+)
+
+func (m DegradeMode) String() string {
+	switch m {
+	case DegradeFail:
+		return "fail"
+	case DegradeLadder:
+		return "ladder"
+	}
+	return fmt.Sprintf("DegradeMode(%d)", int(m))
+}
+
 // Options tune the engines.
 type Options struct {
 	// IDTD options (fuzziness k, noise threshold, ...).
@@ -59,6 +105,10 @@ type Options struct {
 	// ingestion. Results are byte-identical at every setting; see
 	// dtd.AddDocsParallel.
 	Parallelism int
+	// Budget caps each element's inference (zero value = uncapped).
+	Budget Budget
+	// Degrade selects the reaction to a failing or over-budget engine.
+	Degrade DegradeMode
 }
 
 // Learner is one registered inference engine: the name the tools address
@@ -69,8 +119,10 @@ type Learner struct {
 	Algo Algorithm
 	// Doc is a one-line description shown in command-line usage.
 	Doc string
-	// Infer derives a content-model expression from a counted sample.
-	Infer func(s *sample.Set, opts *Options) (*regex.Expr, error)
+	// Infer derives a content-model expression from a counted sample. The
+	// context carries cancellation and the resource budget; engines check
+	// it cooperatively at their blow-up points.
+	Infer func(ctx context.Context, s *sample.Set, opts *Options) (*regex.Expr, error)
 }
 
 // registry holds the learners in registration order — the order names
@@ -138,8 +190,8 @@ func init() {
 	Register(Learner{
 		Algo: IDTD,
 		Doc:  "SORE inference: 2T-INF + rewrite + repair rules (the paper's iDTD)",
-		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
-			res, err := idtd.InferSample(s, &opts.IDTD)
+		Infer: func(ctx context.Context, s *sample.Set, opts *Options) (*regex.Expr, error) {
+			res, err := idtd.InferSampleContext(ctx, s, &opts.IDTD)
 			if err != nil {
 				return nil, err
 			}
@@ -149,8 +201,8 @@ func init() {
 	Register(Learner{
 		Algo: CRX,
 		Doc:  "CHARE inference, strongest on sparse data (the paper's CRX)",
-		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
-			res, err := crx.InferSample(s)
+		Infer: func(ctx context.Context, s *sample.Set, opts *Options) (*regex.Expr, error) {
+			res, err := crx.InferSampleContext(ctx, s)
 			if err != nil {
 				return nil, err
 			}
@@ -160,29 +212,29 @@ func init() {
 	Register(Learner{
 		Algo: RewriteOnly,
 		Doc:  "rewrite without repair rules; fails on non-representative samples (Figure 4)",
-		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
-			return gfa.InferSample(s)
+		Infer: func(ctx context.Context, s *sample.Set, opts *Options) (*regex.Expr, error) {
+			return gfa.InferSampleContext(ctx, s)
 		},
 	})
 	Register(Learner{
 		Algo: XTRACT,
 		Doc:  "reconstruction of the Garofalakis et al. XTRACT system",
-		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
-			return xtract.InferSample(s, &opts.XTRACT)
+		Infer: func(ctx context.Context, s *sample.Set, opts *Options) (*regex.Expr, error) {
+			return xtract.InferSampleContext(ctx, s, &opts.XTRACT)
 		},
 	})
 	Register(Learner{
 		Algo: TrangLike,
 		Doc:  "reconstruction of Trang's inference strategy",
-		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
-			return tranglike.InferSample(s)
+		Infer: func(ctx context.Context, s *sample.Set, opts *Options) (*regex.Expr, error) {
+			return tranglike.InferSampleContext(ctx, s)
 		},
 	})
 	Register(Learner{
 		Algo: StateElim,
 		Doc:  "classical state elimination over the 2T-INF automaton (negative baseline)",
-		Infer: func(s *sample.Set, opts *Options) (*regex.Expr, error) {
-			return stateelim.InferSample(s)
+		Infer: func(ctx context.Context, s *sample.Set, opts *Options) (*regex.Expr, error) {
+			return stateelim.InferSampleContext(ctx, s)
 		},
 	})
 }
@@ -192,6 +244,13 @@ func init() {
 // the registered learner consumes interned IDs directly, and the optional
 // numeric-predicate refinement scans unique sequences only.
 func InferSampleExpr(s *sample.Set, algo Algorithm, opts *Options) (*regex.Expr, error) {
+	return InferSampleExprContext(context.Background(), s, algo, opts)
+}
+
+// InferSampleExprContext is InferSampleExpr under a context. It runs the
+// single chosen engine — no degradation ladder — so experiment harnesses
+// measuring one algorithm observe that algorithm's own failures.
+func InferSampleExprContext(ctx context.Context, s *sample.Set, algo Algorithm, opts *Options) (*regex.Expr, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -200,7 +259,7 @@ func InferSampleExpr(s *sample.Set, algo Algorithm, opts *Options) (*regex.Expr,
 	if !ok {
 		return nil, fmt.Errorf("core: unknown algorithm %q (want %s)", algo, AlgorithmList())
 	}
-	e, err := l.Infer(s, &o)
+	e, err := l.Infer(ctx, s, &o)
 	if err != nil {
 		return nil, err
 	}
@@ -235,16 +294,17 @@ func SampleInferrer(algo Algorithm, opts *Options) dtd.InferSampleFunc {
 }
 
 // ingestAll is the single ingestion pipeline behind every document-level
-// entry point: hardened, fault-isolated, and sharded across workers
-// according to opts.Parallelism. The report is never nil.
-func ingestAll(docs []io.Reader, opts *Options,
+// entry point: hardened, fault-isolated, sharded across workers according
+// to opts.Parallelism, and cancellable through the context. The report is
+// never nil.
+func ingestAll(ctx context.Context, docs []io.Reader, opts *Options,
 	ingest *dtd.IngestOptions, policy dtd.ErrorPolicy) (*dtd.Extraction, *dtd.IngestReport, error) {
 	workers := 0
 	if opts != nil {
 		workers = opts.Parallelism
 	}
 	x := dtd.NewExtraction()
-	report, err := x.AddDocumentsParallel(docs, workers, ingest, policy)
+	report, err := x.AddDocumentsParallelContext(ctx, docs, workers, ingest, policy)
 	if err != nil {
 		return nil, report, fmt.Errorf("core: %w", err)
 	}
@@ -255,28 +315,42 @@ func ingestAll(docs []io.Reader, opts *Options,
 // infers a complete DTD. Ingestion runs through the same sharded,
 // fault-isolated pipeline as InferDTDReport (uncapped, fail-fast).
 func InferDTD(docs []io.Reader, algo Algorithm, opts *Options) (*dtd.DTD, error) {
-	x, _, err := ingestAll(docs, opts, nil, dtd.FailFast)
+	return InferDTDContext(context.Background(), docs, algo, opts)
+}
+
+// InferDTDContext is InferDTD under a context: cancellation propagates
+// into the decode loops and every engine's hot loop, and opts.Budget /
+// opts.Degrade govern per-element budgets and the degradation ladder.
+func InferDTDContext(ctx context.Context, docs []io.Reader, algo Algorithm, opts *Options) (*dtd.DTD, error) {
+	x, _, err := ingestAll(ctx, docs, opts, nil, dtd.FailFast)
 	if err != nil {
 		return nil, err
 	}
-	return x.InferDTDSample(SampleInferrer(algo, opts))
+	d, _, err := x.InferDTDElements(ctx, ElementInferrer(algo, opts))
+	return d, err
 }
 
 // InferDTDReport is InferDTD with hardened ingestion: documents are
 // ingested under the resource caps of ingest (nil = unlimited) with
 // per-document fault isolation under the chosen policy, and the returned
 // IngestReport and InferStats carry the ingestion counters, per-document
-// errors and per-element inference timings. Under SkipAndRecord a
-// malformed document is recorded and skipped rather than aborting the
-// batch. The report is non-nil even on error; the stats are non-nil
-// whenever inference ran.
+// errors, per-element inference timings and degradation outcomes. Under
+// SkipAndRecord a malformed document is recorded and skipped rather than
+// aborting the batch. The report is non-nil even on error; the stats are
+// non-nil whenever inference ran.
 func InferDTDReport(docs []io.Reader, algo Algorithm, opts *Options,
 	ingest *dtd.IngestOptions, policy dtd.ErrorPolicy) (*dtd.DTD, *dtd.IngestReport, *dtd.InferStats, error) {
-	x, report, err := ingestAll(docs, opts, ingest, policy)
+	return InferDTDReportContext(context.Background(), docs, algo, opts, ingest, policy)
+}
+
+// InferDTDReportContext is InferDTDReport under a context.
+func InferDTDReportContext(ctx context.Context, docs []io.Reader, algo Algorithm, opts *Options,
+	ingest *dtd.IngestOptions, policy dtd.ErrorPolicy) (*dtd.DTD, *dtd.IngestReport, *dtd.InferStats, error) {
+	x, report, err := ingestAll(ctx, docs, opts, ingest, policy)
 	if err != nil {
 		return nil, report, nil, err
 	}
-	d, stats, err := x.InferDTDSampleStats(SampleInferrer(algo, opts))
+	d, stats, err := x.InferDTDElements(ctx, ElementInferrer(algo, opts))
 	if err != nil {
 		return nil, report, stats, err
 	}
@@ -285,23 +359,36 @@ func InferDTDReport(docs []io.Reader, algo Algorithm, opts *Options,
 
 // InferDTDFromExtraction infers a DTD from already-extracted sequences.
 func InferDTDFromExtraction(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, error) {
-	return x.InferDTDSample(SampleInferrer(algo, opts))
+	d, _, err := x.InferDTDElements(context.Background(), ElementInferrer(algo, opts))
+	return d, err
 }
 
 // InferDTDFromExtractionStats additionally reports per-element inference
-// timings from InferDTD's worker pool.
+// timings and degradation outcomes from InferDTD's worker pool.
 func InferDTDFromExtractionStats(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, *dtd.InferStats, error) {
-	return x.InferDTDSampleStats(SampleInferrer(algo, opts))
+	return x.InferDTDElements(context.Background(), ElementInferrer(algo, opts))
+}
+
+// InferDTDFromExtractionContext is InferDTDFromExtractionStats under a
+// context — the entry point the CLI runs on.
+func InferDTDFromExtractionContext(ctx context.Context, x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, *dtd.InferStats, error) {
+	return x.InferDTDElements(ctx, ElementInferrer(algo, opts))
 }
 
 // InferXSD infers a DTD from the documents and renders it as an XML Schema
 // with datatype detection over the sampled text values (Section 9).
 func InferXSD(docs []io.Reader, algo Algorithm, opts *Options) (string, error) {
-	x, _, err := ingestAll(docs, opts, nil, dtd.FailFast)
+	return InferXSDContext(context.Background(), docs, algo, opts)
+}
+
+// InferXSDContext is InferXSD under a context, with the same cancellation
+// and budget semantics as InferDTDContext.
+func InferXSDContext(ctx context.Context, docs []io.Reader, algo Algorithm, opts *Options) (string, error) {
+	x, _, err := ingestAll(ctx, docs, opts, nil, dtd.FailFast)
 	if err != nil {
 		return "", err
 	}
-	d, err := x.InferDTDSample(SampleInferrer(algo, opts))
+	d, _, err := x.InferDTDElements(ctx, ElementInferrer(algo, opts))
 	if err != nil {
 		return "", err
 	}

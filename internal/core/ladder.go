@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dtdinfer/internal/budget"
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/faultinject"
+	"dtdinfer/internal/numpred"
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/sample"
+)
+
+// The degradation ladder. A single pathological element — one whose
+// sample blows up the configured engine, trips a budget, or exposes a bug
+// that panics — must not take down the inference of a whole corpus. The
+// ladder runs at the learner-dispatch boundary, per element: the
+// configured engine first, then CRX (linear-time, cannot blow up, still a
+// sound generalization per Theorem 3), then the universal content model
+// (a1|...|an)* over the element's observed children, which accepts
+// everything and can never fail. Every element therefore gets *some*
+// declaration, and the rung it landed on is recorded in its
+// dtd.ElementOutcome so degradation is visible, not silent.
+//
+// Each attempt runs under a recover barrier (a panicking engine degrades
+// like an erring one) and, when opts.Budget.Deadline is set, under its own
+// context.WithTimeout. Expiry of that per-element deadline degrades;
+// cancellation of the parent context propagates and aborts the whole
+// inference — the two are distinguished by checking the parent's Err.
+
+// UniversalEngine is the ElementOutcome.Engine name of the last ladder
+// rung, the always-succeeding universal content model.
+const UniversalEngine = "universal"
+
+// FaultPoint returns the faultinject hook point of one engine's dispatch,
+// as fired by every attempt the ladder makes ("engine.idtd", ...).
+func FaultPoint(algo Algorithm) string { return "engine." + string(algo) }
+
+// ElementInferrer adapts an algorithm to the dtd.InferElementFunc shape,
+// adding the budget enforcement, panic containment, and — under
+// DegradeLadder — the degradation ladder. This is the dispatch every
+// document-level entry point runs on.
+func ElementInferrer(algo Algorithm, opts *Options) dtd.InferElementFunc {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	return func(ctx context.Context, name string, s *sample.Set) (*regex.Expr, *dtd.ElementOutcome, error) {
+		t0 := time.Now()
+		e, err := attemptEngine(ctx, algo, name, s, &o)
+		if err == nil {
+			return e, &dtd.ElementOutcome{
+				Name:    name,
+				Engine:  string(algo),
+				Elapsed: time.Since(t0),
+			}, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// The caller cancelled the whole inference; degrading here
+			// would mask that, so propagate.
+			return nil, nil, cerr
+		}
+		cause := causeOf(err)
+		if o.Degrade != DegradeLadder {
+			return nil, &dtd.ElementOutcome{
+				Name:    name,
+				Engine:  string(algo),
+				Cause:   cause,
+				Elapsed: time.Since(t0),
+			}, err
+		}
+		if algo != CRX {
+			e, crxErr := attemptEngine(ctx, CRX, name, s, &o)
+			if crxErr == nil {
+				return e, &dtd.ElementOutcome{
+					Name:         name,
+					Engine:       string(CRX),
+					DegradedFrom: string(algo),
+					Cause:        cause,
+					Elapsed:      time.Since(t0),
+				}, nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, cerr
+			}
+			cause += "; crx: " + causeOf(crxErr)
+		}
+		return universalModel(s), &dtd.ElementOutcome{
+			Name:         name,
+			Engine:       UniversalEngine,
+			DegradedFrom: string(algo),
+			Cause:        cause,
+			Elapsed:      time.Since(t0),
+		}, nil
+	}
+}
+
+// attemptEngine runs one ladder rung: one engine on one element's sample,
+// under the per-element budget and a recover barrier. The fault-injection
+// hook fires after the per-element deadline starts, so an injected Delay
+// deterministically produces a deadline failure.
+func attemptEngine(ctx context.Context, algo Algorithm, name string, s *sample.Set, o *Options) (e *regex.Expr, err error) {
+	l, ok := byAlgo[algo]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q (want %s)", algo, AlgorithmList())
+	}
+	actx := ctx
+	if o.Budget.Deadline > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, o.Budget.Deadline)
+		defer cancel()
+	}
+	actx = budget.With(actx, budget.Limits{
+		MaxSOAStates: o.Budget.MaxSOAStates,
+		MaxExprSize:  o.Budget.MaxExprSize,
+	})
+	defer func() {
+		if r := recover(); r != nil {
+			e, err = nil, fmt.Errorf("core: engine %s panicked on element %s: %v", algo, name, r)
+		}
+	}()
+	if ferr := faultinject.Fire(FaultPoint(algo), name); ferr != nil {
+		return nil, ferr
+	}
+	// An injected Delay may have consumed the element's deadline while the
+	// hook slept; surface that as the deadline failure it simulates.
+	if aerr := actx.Err(); aerr != nil {
+		return nil, aerr
+	}
+	e, err = l.Infer(actx, s, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := budget.CheckExprSize(actx, e.Tokens()); err != nil {
+		return nil, err
+	}
+	if o.NumericPredicates {
+		e = numpred.RefineSample(e, s)
+	}
+	return e, nil
+}
+
+// causeOf compresses a rung failure into the short ElementOutcome.Cause
+// form: "deadline" for per-element timeouts, "cancelled" for cancellation
+// observed inside the engine, the error text otherwise (budget errors
+// already read "budget: ...", injected panics "faultinject: ...").
+func causeOf(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return err.Error()
+	}
+}
+
+// universalModel is the bottom rung: (a1|...|an)* over the element's
+// observed children. It accepts every sequence over the alphabet, so it
+// can never fail, and it is a valid deterministic content model.
+func universalModel(s *sample.Set) *regex.Expr {
+	syms := s.Symbols()
+	subs := make([]*regex.Expr, len(syms))
+	for i, name := range syms {
+		subs[i] = regex.Sym(name)
+	}
+	return regex.Simplify(regex.Star(regex.Union(subs...)))
+}

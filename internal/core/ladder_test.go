@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/faultinject"
+)
+
+// corpus builds the test extraction: r holds repeated a's, a holds x and
+// y, b holds x; x and y are empty. Element a (two child symbols) is the
+// degradation target; every other element must be untouched by faults
+// keyed to a.
+func corpus(t *testing.T) *dtd.Extraction {
+	t.Helper()
+	x := dtd.NewExtraction()
+	docs := []string{
+		"<r><a><x></x><y></y></a><b><x></x></b></r>",
+		"<r><a><x></x></a><a><y></y></a></r>",
+	}
+	for _, d := range docs {
+		if err := x.AddDocument(strings.NewReader(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x
+}
+
+// outcomeOf finds one element's outcome in the stats.
+func outcomeOf(t *testing.T, stats *dtd.InferStats, name string) dtd.ElementOutcome {
+	t.Helper()
+	for _, o := range stats.Outcomes {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("no outcome recorded for element %s (have %v)", name, stats.Outcomes)
+	return dtd.ElementOutcome{}
+}
+
+// declOf renders one element's declaration for byte-identity checks.
+func declOf(t *testing.T, d *dtd.DTD, name string) string {
+	t.Helper()
+	for _, e := range d.Elements {
+		if e.Name == name {
+			return e.String()
+		}
+	}
+	t.Fatalf("no declaration for element %s", name)
+	return ""
+}
+
+func ladderOpts() *Options {
+	return &Options{Degrade: DegradeLadder}
+}
+
+// baseline infers the corpus fault-free and returns the per-element
+// declarations the degraded runs must reproduce for untouched elements.
+func baseline(t *testing.T) (*dtd.DTD, *dtd.InferStats) {
+	t.Helper()
+	faultinject.Reset()
+	d, stats, err := InferDTDFromExtractionStats(corpus(t), IDTD, ladderOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, stats
+}
+
+func TestLadderPanicDegradesToCRX(t *testing.T) {
+	base, baseStats := baseline(t)
+	if o := outcomeOf(t, baseStats, "a"); o.DegradedFrom != "" || o.Engine != "idtd" {
+		t.Fatalf("fault-free outcome unexpectedly degraded: %+v", o)
+	}
+
+	faultinject.Set(FaultPoint(IDTD), "a", faultinject.Fault{Panic: true})
+	defer faultinject.Reset()
+	d, stats, err := InferDTDFromExtractionStats(corpus(t), IDTD, ladderOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomeOf(t, stats, "a")
+	if o.Engine != "crx" || o.DegradedFrom != "idtd" {
+		t.Errorf("outcome = %+v, want crx degraded from idtd", o)
+	}
+	if !strings.Contains(o.Cause, "panic") {
+		t.Errorf("cause = %q, want a panic cause", o.Cause)
+	}
+	// Elements the fault never touched are byte-identical to the baseline.
+	for _, name := range []string{"r", "b", "x", "y"} {
+		if got, want := declOf(t, d, name), declOf(t, base, name); got != want {
+			t.Errorf("untouched element %s changed: %q != %q", name, got, want)
+		}
+	}
+}
+
+func TestLadderErrorReachesUniversal(t *testing.T) {
+	base, _ := baseline(t)
+	boom := errors.New("boom")
+	faultinject.Set(FaultPoint(IDTD), "a", faultinject.Fault{Err: boom})
+	faultinject.Set(FaultPoint(CRX), "a", faultinject.Fault{Err: boom})
+	defer faultinject.Reset()
+	d, stats, err := InferDTDFromExtractionStats(corpus(t), IDTD, ladderOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomeOf(t, stats, "a")
+	if o.Engine != UniversalEngine || o.DegradedFrom != "idtd" {
+		t.Errorf("outcome = %+v, want universal degraded from idtd", o)
+	}
+	if got := declOf(t, d, "a"); !strings.Contains(got, "(x|y)*") {
+		t.Errorf("universal model = %q, want (x|y)*", got)
+	}
+	for _, name := range []string{"r", "b", "x", "y"} {
+		if got, want := declOf(t, d, name), declOf(t, base, name); got != want {
+			t.Errorf("untouched element %s changed: %q != %q", name, got, want)
+		}
+	}
+}
+
+func TestLadderDeadlineCause(t *testing.T) {
+	faultinject.Set(FaultPoint(IDTD), "a", faultinject.Fault{Delay: 50 * time.Millisecond})
+	defer faultinject.Reset()
+	opts := ladderOpts()
+	opts.Budget.Deadline = 5 * time.Millisecond
+	_, stats, err := InferDTDFromExtractionStats(corpus(t), IDTD, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := outcomeOf(t, stats, "a")
+	if o.DegradedFrom != "idtd" || o.Cause != "deadline" {
+		t.Errorf("outcome = %+v, want deadline degradation from idtd", o)
+	}
+}
+
+func TestLadderStateBudget(t *testing.T) {
+	opts := ladderOpts()
+	opts.Budget.MaxSOAStates = 1
+	_, stats, err := InferDTDFromExtractionStats(corpus(t), IDTD, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element a has two child symbols and exceeds the cap in iDTD; CRX has
+	// no automaton, so the ladder lands there. Element b has a single
+	// child symbol and stays on the primary engine.
+	o := outcomeOf(t, stats, "a")
+	if o.Engine != "crx" || !strings.Contains(o.Cause, "soa-states") {
+		t.Errorf("outcome = %+v, want crx with an soa-states cause", o)
+	}
+	if o := outcomeOf(t, stats, "b"); o.DegradedFrom != "" {
+		t.Errorf("element b under budget should not degrade: %+v", o)
+	}
+}
+
+func TestLadderExprSizeBudget(t *testing.T) {
+	opts := ladderOpts()
+	opts.Budget.MaxExprSize = 1
+	_, stats, err := InferDTDFromExtractionStats(corpus(t), IDTD, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both idtd's and crx's results for a exceed one token, so only the
+	// universal rung (exempt from the size check — it is the rung of last
+	// resort) remains.
+	o := outcomeOf(t, stats, "a")
+	if o.Engine != UniversalEngine || !strings.Contains(o.Cause, "expr-size") {
+		t.Errorf("outcome = %+v, want universal with an expr-size cause", o)
+	}
+}
+
+func TestDegradeFailPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	faultinject.Set(FaultPoint(IDTD), "a", faultinject.Fault{Err: boom})
+	defer faultinject.Reset()
+	opts := &Options{Degrade: DegradeFail}
+	_, _, err := InferDTDFromExtractionStats(corpus(t), IDTD, opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected error", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "content model of a") {
+		t.Errorf("err = %v, want the element-name wrapping", err)
+	}
+}
+
+func TestDegradeFailContainsPanic(t *testing.T) {
+	faultinject.Set(FaultPoint(IDTD), "a", faultinject.Fault{Panic: true})
+	defer faultinject.Reset()
+	_, _, err := InferDTDFromExtractionStats(corpus(t), IDTD, &Options{Degrade: DegradeFail})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a contained panic error", err)
+	}
+}
+
+func TestLadderParentCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := InferDTDFromExtractionContext(ctx, corpus(t), IDTD, ladderOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -15,6 +15,8 @@
 package crx
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"strconv"
 
@@ -22,6 +24,12 @@ import (
 	"dtdinfer/internal/regex"
 	smp "dtdinfer/internal/sample"
 )
+
+// ErrCycle is reported when the class DAG — acyclic by construction on
+// well-formed summaries — contains a cycle, which can only arise from a
+// corrupted or adversarial summary state. Callers degrade instead of
+// crashing.
+var ErrCycle = errors.New("crx: cycle in class DAG")
 
 // Result carries the inferred CHARE and the intermediate structures, which
 // the experiments inspect.
@@ -51,16 +59,45 @@ func InferSample(s *smp.Set) (*Result, error) {
 	return st.Infer()
 }
 
+// InferSampleContext is InferSample under a context: class construction
+// checks for cancellation between its phases and inside the topological
+// sort.
+func InferSampleContext(ctx context.Context, s *smp.Set) (*Result, error) {
+	st := NewState()
+	st.AddSample(s)
+	return st.InferContext(ctx)
+}
+
 // Infer computes the CHARE from the accumulated summary.
 func (st *State) Infer() (*Result, error) {
+	return st.InferContext(context.Background())
+}
+
+// InferContext is Infer with cooperative cancellation: the phases of class
+// construction — SCC contraction, Hasse-diagram building, singleton
+// merging, topological sort — each start with a checkpoint, and the
+// quadratic sort checks once per emitted class.
+func (st *State) InferContext(ctx context.Context) (*Result, error) {
 	syms := st.symbols()
 	if len(syms) == 0 {
 		return nil, gfa.ErrEmpty
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	classes := st.equivalenceClasses(syms)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := newClassGraph(st, classes)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g.mergeSingletons()
-	order := g.topoSort(st)
+	order, err := g.topoSort(ctx, st)
+	if err != nil {
+		return nil, err
+	}
 	factors := make([]*regex.Expr, 0, len(order))
 	resultClasses := make([][]string, 0, len(order))
 	for _, c := range order {
@@ -329,7 +366,9 @@ func (g *classGraph) merge(group []int) {
 // one whose earliest-seen symbol came first in the sample stream is
 // emitted next, which makes the output order deterministic and natural
 // (the paper notes the order of factors depends on the topological sort).
-func (g *classGraph) topoSort(st *State) []int {
+// It fails with ErrCycle when no class is available before all are
+// emitted, and checks the context once per emitted class.
+func (g *classGraph) topoSort(ctx context.Context, st *State) ([]int, error) {
 	indeg := map[int]int{}
 	for i := range g.classes {
 		if !g.alive[i] {
@@ -354,6 +393,9 @@ func (g *classGraph) topoSort(st *State) []int {
 	}
 	var order []int
 	for len(indeg) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		best := -1
 		for i := range indeg {
 			if indeg[i] != 0 {
@@ -364,7 +406,7 @@ func (g *classGraph) topoSort(st *State) []int {
 			}
 		}
 		if best < 0 {
-			panic("crx: cycle in class DAG")
+			return nil, ErrCycle
 		}
 		order = append(order, best)
 		delete(indeg, best)
@@ -374,5 +416,5 @@ func (g *classGraph) topoSort(st *State) []int {
 			}
 		}
 	}
-	return order
+	return order, nil
 }

@@ -1,6 +1,7 @@
 package dtd
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -68,6 +69,12 @@ type docStats struct {
 	elements int64
 }
 
+// cancelCheckInterval is how many decoded tokens pass between cooperative
+// cancellation checks in the decode loop — frequent enough that a
+// cancelled ingestion of even a modest document returns promptly, rare
+// enough that the check never shows up in a profile.
+const cancelCheckInterval = 256
+
 // extractOne runs the decode loop over one document, mutating x directly
 // except for children sequences, which are buffered as verbatim strings
 // into the caller-owned seqs map (cleared between documents by batch
@@ -79,11 +86,18 @@ type docStats struct {
 // counted sample — a staged sample.Set would intern into a throwaway
 // table and force Merge to re-intern on every document. A nil opts
 // applies no resource caps.
-func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions, seqs map[string][][]string) (docStats, error) {
+//
+// The context is checked every cancelCheckInterval tokens; on
+// cancellation the document fails with ctx.Err(), which callers treat as
+// batch abortion rather than a per-document fault. A context that can
+// never be cancelled (Done() == nil, e.g. context.Background()) costs
+// nothing in the loop.
+func (x *Extraction) extractOne(ctx context.Context, r io.Reader, opts *IngestOptions, seqs map[string][][]string) (docStats, error) {
 	var o IngestOptions
 	if opts != nil {
 		o = *opts
 	}
+	done := ctx.Done()
 	mr := &meteredReader{r: r, max: o.MaxBytes}
 	dec := xml.NewDecoder(mr)
 	type frame struct {
@@ -99,6 +113,13 @@ func (x *Extraction) extractOne(r io.Reader, opts *IngestOptions, seqs map[strin
 		names = make(map[string]bool, 16)
 	}
 	for {
+		if done != nil && stats.tokens%cancelCheckInterval == 0 {
+			select {
+			case <-done:
+				return stats, ctx.Err()
+			default:
+			}
+		}
 		tok, err := dec.Token()
 		stats.bytes = mr.n
 		if err == io.EOF {
@@ -272,10 +293,54 @@ func (x *Extraction) InferDTDSample(infer InferSampleFunc) (*DTD, error) {
 	return d, err
 }
 
-// InferDTDSampleStats is the inference engine behind every InferDTD
-// variant: a bounded worker pool infers one content model per element from
-// its counted sample, deterministically regardless of scheduling.
+// InferDTDSampleStats is InferDTDElements without a context or outcome
+// reporting: the inferrer is lifted to the element shape with a nil
+// outcome, preserving the historical single-engine behaviour.
 func (x *Extraction) InferDTDSampleStats(infer InferSampleFunc) (*DTD, *InferStats, error) {
+	return x.InferDTDElements(context.Background(),
+		func(ctx context.Context, name string, s *sample.Set) (*regex.Expr, *ElementOutcome, error) {
+			e, err := infer(s)
+			return e, nil, err
+		})
+}
+
+// ElementOutcome records how one element's content model was obtained:
+// which engine produced the accepted expression, whether (and from which
+// engine) the inference degraded, why, and how long the whole attempt
+// chain took. Engines are named by their algorithm strings so the dtd
+// layer stays ignorant of the engine registry above it.
+type ElementOutcome struct {
+	// Name is the element name.
+	Name string
+	// Engine is the engine whose expression was accepted ("idtd", "crx",
+	// "universal", ...).
+	Engine string
+	// DegradedFrom is the originally configured engine when Engine differs
+	// from it; empty when the primary engine succeeded.
+	DegradedFrom string
+	// Cause explains the degradation ("deadline", "budget: ...", a panic
+	// or engine error message); empty when the primary engine succeeded.
+	Cause string
+	// Elapsed is the wall-clock time of the whole attempt chain for this
+	// element, including failed rungs.
+	Elapsed time.Duration
+}
+
+// InferElementFunc turns one element's counted sample into a content
+// expression, optionally reporting how (a nil outcome means the caller
+// has nothing to record — e.g. a plain single-engine inferrer). The
+// context carries cancellation and resource budgets downward.
+type InferElementFunc = func(ctx context.Context, name string, s *sample.Set) (*regex.Expr, *ElementOutcome, error)
+
+// InferDTDElements is the inference engine behind every InferDTD variant:
+// a bounded worker pool infers one content model per element from its
+// counted sample, deterministically regardless of scheduling. The context
+// cancels the pool cooperatively — workers stop picking up elements and
+// the first error returned is ctx.Err() — and is passed to every element
+// inferrer, which layers per-element deadlines and budgets on top of it.
+// Outcomes reported by the inferrer are collected into the stats in
+// element order.
+func (x *Extraction) InferDTDElements(ctx context.Context, infer InferElementFunc) (*DTD, *InferStats, error) {
 	start := time.Now()
 	names := make([]string, 0, len(x.Sequences))
 	for n := range x.Sequences {
@@ -286,18 +351,22 @@ func (x *Extraction) InferDTDSampleStats(infer InferSampleFunc) (*DTD, *InferSta
 		return nil, nil, fmt.Errorf("dtd: no elements observed")
 	}
 	elements := make([]*Element, len(names))
+	outcomes := make([]*ElementOutcome, len(names))
 	errs := make([]error, len(names))
 	timings := make([]ElementTiming, len(names))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, name := range names {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, name string) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			t0 := time.Now()
-			elements[i], errs[i] = x.inferElement(name, infer)
+			elements[i], outcomes[i], errs[i] = x.inferElementOutcome(ctx, name, infer)
 			timings[i] = ElementTiming{
 				Name:      name,
 				Sequences: x.Sequences[name].Total(),
@@ -307,6 +376,14 @@ func (x *Extraction) InferDTDSampleStats(infer InferSampleFunc) (*DTD, *InferSta
 	}
 	wg.Wait()
 	stats := &InferStats{Wall: time.Since(start), PerElement: timings}
+	for _, o := range outcomes {
+		if o != nil {
+			stats.Outcomes = append(stats.Outcomes, *o)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	d := New(x.Root())
 	for i, e := range elements {
 		if errs[i] != nil {
@@ -318,22 +395,24 @@ func (x *Extraction) InferDTDSampleStats(infer InferSampleFunc) (*DTD, *InferSta
 	return d, stats, nil
 }
 
-// inferElement derives one element's declaration.
-func (x *Extraction) inferElement(name string, infer InferSampleFunc) (*Element, error) {
+// inferElementOutcome derives one element's declaration. The inferrer is
+// consulted only for children content; text-only, empty and mixed
+// declarations are structural and never degrade.
+func (x *Extraction) inferElementOutcome(ctx context.Context, name string, infer InferElementFunc) (*Element, *ElementOutcome, error) {
 	seqs := x.Sequences[name]
 	hasChildren := seqs.NumSymbols() > 0
 	switch {
 	case !hasChildren && x.HasText[name]:
-		return &Element{Name: name, Type: PCData}, nil
+		return &Element{Name: name, Type: PCData}, nil, nil
 	case !hasChildren:
-		return &Element{Name: name, Type: Empty}, nil
+		return &Element{Name: name, Type: Empty}, nil, nil
 	case x.HasText[name]:
-		return &Element{Name: name, Type: Mixed, MixedNames: seqs.Symbols()}, nil
+		return &Element{Name: name, Type: Mixed, MixedNames: seqs.Symbols()}, nil, nil
 	default:
-		model, err := infer(seqs)
+		model, outcome, err := infer(ctx, name, seqs)
 		if err != nil {
-			return nil, fmt.Errorf("dtd: inferring content model of %s: %w", name, err)
+			return nil, outcome, fmt.Errorf("dtd: inferring content model of %s: %w", name, err)
 		}
-		return &Element{Name: name, Type: Children, Model: model}, nil
+		return &Element{Name: name, Type: Children, Model: model}, outcome, nil
 	}
 }

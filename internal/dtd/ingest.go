@@ -1,6 +1,7 @@
 package dtd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -177,7 +178,7 @@ type Doc struct {
 func (x *Extraction) AddDocumentOptions(r io.Reader, opts *IngestOptions) error {
 	stage := NewExtraction()
 	seqs := map[string][][]string{}
-	if _, err := stage.extractOne(r, opts, seqs); err != nil {
+	if _, err := stage.extractOne(context.Background(), r, opts, seqs); err != nil {
 		return err
 	}
 	x.Merge(stage)
@@ -201,7 +202,49 @@ func (x *Extraction) AddDocuments(docs []io.Reader, opts *IngestOptions, policy 
 // AddDocs is AddDocuments with caller-supplied labels (file names).
 func (x *Extraction) AddDocs(docs []Doc, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
 	report := &IngestReport{}
-	if derr := ingestDocs(x, docs, 0, opts, policy, report); derr != nil {
+	derr, _ := ingestDocs(context.Background(), x, docs, 0, opts, policy, report)
+	if derr != nil {
+		return report, derr
+	}
+	return report, nil
+}
+
+// AddDocumentsContext is AddDocuments under a context, labeling documents
+// by position. See AddDocsContext for the cancellation contract.
+func (x *Extraction) AddDocumentsContext(ctx context.Context, docs []io.Reader, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
+	labeled := make([]Doc, len(docs))
+	for i, r := range docs {
+		labeled[i] = Doc{Label: fmt.Sprintf("document %d", i), R: r}
+	}
+	return x.AddDocsContext(ctx, labeled, opts, policy)
+}
+
+// AddDocsContext is AddDocs under a context. Cancellation is batch-atomic:
+// the whole batch is staged and committed only when the context is still
+// live at the end, so a cancelled call returns ctx.Err() (alongside the
+// partial report) and leaves x exactly as it was — no torn prefix to
+// reason about. Per-document faults keep their AddDocs semantics: under
+// FailFast the documents preceding the failure commit and the failing
+// *DocumentError is returned; under SkipAndRecord failures land in the
+// report only.
+//
+// The batch-level staging is paid only when the context can actually be
+// cancelled; with a Done-less context (context.Background()) documents
+// commit directly into x and the call costs exactly what AddDocs does.
+func (x *Extraction) AddDocsContext(ctx context.Context, docs []Doc, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
+	report := &IngestReport{}
+	target := x
+	if ctx.Done() != nil {
+		target = NewExtraction()
+	}
+	derr, cancelErr := ingestDocs(ctx, target, docs, 0, opts, policy, report)
+	if cancelErr != nil {
+		return report, cancelErr
+	}
+	if target != x {
+		x.Merge(target)
+	}
+	if derr != nil {
 		return report, derr
 	}
 	return report, nil
@@ -209,27 +252,41 @@ func (x *Extraction) AddDocs(docs []Doc, opts *IngestOptions, policy ErrorPolicy
 
 // ingestDocs runs the per-document staging loop into x, labeling errors
 // with baseIndex+i so a shard of a larger batch reports original document
-// positions. It returns the first error under FailFast, nil otherwise.
-// This is the single ingestion loop shared by the sequential and parallel
-// batch APIs (each parallel worker calls it on a private extraction).
-func ingestDocs(x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, policy ErrorPolicy, report *IngestReport) *DocumentError {
+// positions. The first return is the first failing document under
+// FailFast; the second is the context's error when the batch was
+// abandoned mid-way — a cancelled document is batch abortion, not a
+// per-document fault, so it is never recorded in the report. This is the
+// single ingestion loop shared by the sequential and parallel batch APIs
+// (each parallel worker calls it on a private extraction).
+func ingestDocs(ctx context.Context, x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, policy ErrorPolicy, report *IngestReport) (*DocumentError, error) {
 	// One staging extraction and sequence buffer serve the whole batch,
 	// reset between documents, so per-document staging costs map clears
 	// instead of fresh map allocations.
 	stage := NewExtraction()
 	seqs := map[string][][]string{}
 	for i, doc := range docs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		report.Documents++
 		stage.reset()
 		clear(seqs)
-		stats, err := stage.extractOne(doc.R, opts, seqs)
+		stats, err := stage.extractOne(ctx, doc.R, opts, seqs)
 		report.Bytes += stats.bytes
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// The decode loop observed cancellation (or the reader
+				// failed while the context was already dead): abandon the
+				// batch instead of charging the document with a fault.
+				report.Documents--
+				report.Bytes -= stats.bytes
+				return nil, cerr
+			}
 			report.Rejected++
 			derr := &DocumentError{Index: baseIndex + i, Label: doc.Label, Err: err}
 			report.Errors = append(report.Errors, derr)
 			if policy == FailFast {
-				return derr
+				return derr, nil
 			}
 			continue
 		}
@@ -239,7 +296,7 @@ func ingestDocs(x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, p
 		x.Merge(stage)
 		x.commitSequences(seqs)
 	}
-	return nil
+	return nil, nil
 }
 
 // reset clears the extraction for reuse as a staging area, keeping the
@@ -321,6 +378,11 @@ type InferStats struct {
 	// PerElement holds one entry per inferred element, in the DTD's
 	// deterministic element order.
 	PerElement []ElementTiming
+	// Outcomes holds one entry per element whose inferrer reported an
+	// outcome (engine used, degradation rung, cause), in the DTD's
+	// deterministic element order. Empty when the inferrer predates the
+	// outcome protocol or no element has children content.
+	Outcomes []ElementOutcome
 }
 
 // ElementTiming is one element's inference cost.
@@ -346,6 +408,12 @@ func (s *InferStats) String() string {
 	fmt.Fprintf(&b, "inferred %d elements in %v", len(order), s.Wall)
 	for _, t := range order {
 		fmt.Fprintf(&b, "\n  %-24s %8d seqs  %v", t.Name, t.Sequences, t.Duration)
+	}
+	for _, o := range s.Outcomes {
+		if o.DegradedFrom == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %-24s degraded %s -> %s (%s)", o.Name, o.DegradedFrom, o.Engine, o.Cause)
 	}
 	return b.String()
 }

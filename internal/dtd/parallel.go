@@ -1,6 +1,7 @@
 package dtd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -50,11 +51,32 @@ func (x *Extraction) AddDocumentsParallel(docs []io.Reader, workers int, opts *I
 
 // AddDocsParallel is AddDocumentsParallel with caller-supplied labels.
 func (x *Extraction) AddDocsParallel(docs []Doc, workers int, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
+	return x.AddDocsParallelContext(context.Background(), docs, workers, opts, policy)
+}
+
+// AddDocumentsParallelContext is AddDocumentsParallel under a context,
+// labeling documents by position. See AddDocsParallelContext for the
+// cancellation contract.
+func (x *Extraction) AddDocumentsParallelContext(ctx context.Context, docs []io.Reader, workers int, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
+	labeled := make([]Doc, len(docs))
+	for i, r := range docs {
+		labeled[i] = Doc{Label: fmt.Sprintf("document %d", i), R: r}
+	}
+	return x.AddDocsParallelContext(ctx, labeled, workers, opts, policy)
+}
+
+// AddDocsParallelContext is AddDocsParallel under a context. Workers check
+// the context before claiming each shard and inside every document's
+// decode loop, so a cancelled call returns promptly with ctx.Err() and no
+// lingering goroutines (the call still joins its workers before
+// returning). Cancellation is batch-atomic: no shard is merged, so x is
+// left exactly as it was.
+func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, workers int, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(docs) < 2 {
-		return x.AddDocs(docs, opts, policy)
+		return x.AddDocsContext(ctx, docs, opts, policy)
 	}
 	shardCount := workers * shardsPerWorker
 	if shardCount > len(docs) {
@@ -81,6 +103,9 @@ func (x *Extraction) AddDocsParallel(docs []Doc, workers int, opts *IngestOption
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				si := int(atomic.AddInt64(&next, 1) - 1)
 				if si >= shardCount {
 					return
@@ -92,7 +117,7 @@ func (x *Extraction) AddDocsParallel(docs []Doc, workers int, opts *IngestOption
 				}
 				s := &shards[si]
 				s.x = NewExtraction()
-				s.err = ingestDocs(s.x, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
+				s.err, _ = ingestDocs(ctx, s.x, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
 				if s.err != nil && policy == FailFast {
 					for {
 						cur := atomic.LoadInt64(&failedShard)
@@ -105,6 +130,26 @@ func (x *Extraction) AddDocsParallel(docs []Doc, workers int, opts *IngestOption
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Batch-atomic cancellation: discard every shard stage unmerged.
+		// The report still tallies the work done before the cut, which the
+		// CLI surfaces as "cancelled after N documents".
+		report := &IngestReport{}
+		for si := range shards {
+			s := &shards[si]
+			if s.x == nil {
+				continue
+			}
+			report.Documents += s.report.Documents
+			report.Accepted += s.report.Accepted
+			report.Rejected += s.report.Rejected
+			report.Bytes += s.report.Bytes
+			report.Tokens += s.report.Tokens
+			report.Elements += s.report.Elements
+			report.Errors = append(report.Errors, s.report.Errors...)
+		}
+		return report, err
+	}
 	report := &IngestReport{}
 	for si := range shards {
 		s := &shards[si]

@@ -76,12 +76,23 @@ func MustParse(src string) *DTD {
 	return d
 }
 
+// validDeclName reports whether s can serve as an element or attribute
+// name in a declaration: non-empty and free of whitespace and of the
+// structural characters that would make the serialized form ambiguous to
+// re-parse (markup delimiters, content-model syntax, quotes).
+func validDeclName(s string) bool {
+	return s != "" && !strings.ContainsAny(s, "<>[]()|,?*+{}&#\"'= \t\n\r")
+}
+
 func parseElement(decl string) (*Element, error) {
 	sp := strings.IndexFunc(decl, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' })
 	if sp < 0 {
 		return nil, fmt.Errorf("dtd: malformed declaration %q", decl)
 	}
 	name := decl[:sp]
+	if !validDeclName(name) {
+		return nil, fmt.Errorf("dtd: invalid element name %q", name)
+	}
 	content := strings.TrimSpace(decl[sp:])
 	switch {
 	case content == "EMPTY":
@@ -96,9 +107,13 @@ func parseElement(decl string) (*Element, error) {
 		var names []string
 		for _, n := range strings.Split(inner, "|") {
 			n = strings.TrimSpace(n)
-			if n != "" {
-				names = append(names, n)
+			if n == "" {
+				continue
 			}
+			if !validDeclName(n) {
+				return nil, fmt.Errorf("dtd: invalid name %q in mixed content of %s", n, name)
+			}
+			names = append(names, n)
 		}
 		sort.Strings(names)
 		return &Element{Name: name, Type: Mixed, MixedNames: names}, nil
@@ -120,10 +135,16 @@ func parseAttlist(d *DTD, decl string) error {
 		return fmt.Errorf("dtd: malformed <!ATTLIST %s>", decl)
 	}
 	element := fields[0]
+	if !validDeclName(element) {
+		return fmt.Errorf("dtd: invalid element name %q in <!ATTLIST>", element)
+	}
 	rest := fields[1:]
 	for len(rest) > 0 {
 		if len(rest) < 3 {
 			return fmt.Errorf("dtd: malformed attribute definition in <!ATTLIST %s>", decl)
+		}
+		if !validDeclName(rest[0]) {
+			return fmt.Errorf("dtd: invalid attribute name %q in <!ATTLIST %s>", rest[0], element)
 		}
 		a := &Attribute{Name: rest[0]}
 		typ := rest[1]

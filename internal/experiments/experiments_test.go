@@ -116,7 +116,10 @@ func TestTable2TrangBehaviour(t *testing.T) {
 // on the (‡) panel — crx saturates before iDTD, which saturates before
 // rewrite; rewrite fails entirely at small sizes while iDTD succeeds.
 func TestFigure4Shape(t *testing.T) {
-	r := RunFigure4Panel(Figure4[2], &Figure4Config{Trials: 25, Steps: 8, Seed: 1})
+	r, err := RunFigure4Panel(Figure4[2], &Figure4Config{Trials: 25, Steps: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	crxC, idtdC, rwC := r.CriticalSize[core.CRX], r.CriticalSize[core.IDTD],
 		r.CriticalSize[core.RewriteOnly]
 	if crxC == 0 || idtdC == 0 {
@@ -145,7 +148,10 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestConcisenessContrast(t *testing.T) {
-	r := RunConciseness()
+	r, err := RunConciseness()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := r.Rewrite.String(); got != "((b? (a + c))+ d)+ e" {
 		t.Errorf("rewrite = %q", got)
 	}
@@ -165,7 +171,10 @@ func TestPerfRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("perf experiment in -short mode")
 	}
-	r := RunPerf(1)
+	r, err := RunPerf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Example4IDTD <= 0 || r.Example4CRX <= 0 {
 		t.Fatal("timings missing")
 	}
@@ -182,7 +191,11 @@ func TestFormatters(t *testing.T) {
 			t.Errorf("Table 1 output missing %q", want)
 		}
 	}
-	c := FormatConciseness(RunConciseness())
+	cr, err := RunConciseness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := FormatConciseness(cr)
 	if !strings.Contains(c, "blow-up factor") {
 		t.Error("conciseness output broken")
 	}
@@ -228,7 +241,10 @@ func TestAblation(t *testing.T) {
 }
 
 func TestFigure4CSV(t *testing.T) {
-	r := RunFigure4Panel(Figure4[2], &Figure4Config{Trials: 2, Steps: 3, Seed: 1})
+	r, err := RunFigure4Panel(Figure4[2], &Figure4Config{Trials: 2, Steps: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := FormatFigure4CSV([]PanelResult{r})
 	if !strings.Contains(out, "panel,size,algorithm,fraction") ||
 		!strings.Contains(out, "expr-ddagger") {

@@ -69,7 +69,7 @@ func (c *Figure4Config) withDefaults() Figure4Config {
 // each subsample size count how often the algorithm recovers that result
 // from reservoir subsamples (which are required to cover the alphabet, as
 // the paper's methodology specifies).
-func RunFigure4Panel(panel Figure4Panel, cfg *Figure4Config) PanelResult {
+func RunFigure4Panel(panel Figure4Panel, cfg *Figure4Config) (PanelResult, error) {
 	c := cfg.withDefaults()
 	target := regex.MustParse(panel.Target)
 	s := datagen.NewSampler(c.Seed)
@@ -84,8 +84,8 @@ func RunFigure4Panel(panel Figure4Panel, cfg *Figure4Config) PanelResult {
 	for _, algo := range []core.Algorithm{core.CRX, core.IDTD} {
 		r := runAlgo(base, algo, nil)
 		if r.Err != nil {
-			panic(fmt.Sprintf("experiments: %s failed on full %s sample: %v",
-				algo, panel.Name, r.Err))
+			return res, fmt.Errorf("experiments: %s failed on full %s sample: %w",
+				algo, panel.Name, r.Err)
 		}
 		res.Targets[algo] = r.Expr
 	}
@@ -123,7 +123,7 @@ func RunFigure4Panel(panel Figure4Panel, cfg *Figure4Config) PanelResult {
 		}
 		res.Points = append(res.Points, point)
 	}
-	return res
+	return res, nil
 }
 
 // panelSizes spreads sizes geometrically from just above the alphabet size
@@ -151,12 +151,16 @@ func panelSizes(panel Figure4Panel, alphabet, steps int) []int {
 }
 
 // RunFigure4 reproduces all three panels.
-func RunFigure4(cfg *Figure4Config) []PanelResult {
+func RunFigure4(cfg *Figure4Config) ([]PanelResult, error) {
 	var out []PanelResult
 	for _, p := range Figure4 {
-		out = append(out, RunFigure4Panel(p, cfg))
+		r, err := RunFigure4Panel(p, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
 	}
-	return out
+	return out, nil
 }
 
 // FormatFigure4 renders the curves as aligned columns (one block per

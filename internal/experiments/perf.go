@@ -29,27 +29,36 @@ type PerfResult struct {
 }
 
 // RunPerf measures the Section 8.3 workloads.
-func RunPerf(seed int64) PerfResult {
+func RunPerf(seed int64) (PerfResult, error) {
 	row := Table2[3] // example4
 	target := regex.MustParse(row.Original)
 	sample := sampleFor(target, row.SampleSize, seed)
 	res := PerfResult{SampleSize: len(sample)}
-	res.Example4IDTD = timeAlgo(sample, core.IDTD)
-	res.Example4CRX = timeAlgo(sample, core.CRX)
+	var err error
+	if res.Example4IDTD, err = timeAlgo(sample, core.IDTD); err != nil {
+		return res, err
+	}
+	if res.Example4CRX, err = timeAlgo(sample, core.CRX); err != nil {
+		return res, err
+	}
 
 	typical := regex.MustParse("a1 a2? (a3 + a4 + a5)* a6 (a7 + a8)? a9* a10")
 	tsample := sampleFor(typical, 300, seed+1)
-	res.TypicalIDTD = timeAlgo(tsample, core.IDTD)
-	res.TypicalCRX = timeAlgo(tsample, core.CRX)
-	return res
+	if res.TypicalIDTD, err = timeAlgo(tsample, core.IDTD); err != nil {
+		return res, err
+	}
+	if res.TypicalCRX, err = timeAlgo(tsample, core.CRX); err != nil {
+		return res, err
+	}
+	return res, nil
 }
 
-func timeAlgo(sample [][]string, algo core.Algorithm) time.Duration {
+func timeAlgo(sample [][]string, algo core.Algorithm) (time.Duration, error) {
 	start := time.Now()
 	if _, err := core.InferExpr(sample, algo, nil); err != nil {
-		panic(fmt.Sprintf("experiments: %s failed: %v", algo, err))
+		return 0, fmt.Errorf("experiments: %s failed: %w", algo, err)
 	}
-	return time.Since(start)
+	return time.Since(start), nil
 }
 
 // FormatPerf renders the timings next to the paper's.
@@ -78,21 +87,21 @@ type ConcisenessResult struct {
 }
 
 // RunConciseness runs both translations on the Figure 1 automaton.
-func RunConciseness() ConcisenessResult {
+func RunConciseness() (ConcisenessResult, error) {
 	sample := [][]string{
 		split("bacacdacde"), split("cbacdbacde"), split("abccaadcde"),
 	}
 	a := soa.Infer(sample)
 	big, err := stateelim.FromSOA(a)
 	if err != nil {
-		panic(err)
+		return ConcisenessResult{}, fmt.Errorf("experiments: state elimination failed: %w", err)
 	}
 	g := gfa.FromSOA(a)
 	g.EnableTrace()
 	g.Saturate()
 	small, err := g.Result()
 	if err != nil {
-		panic(err)
+		return ConcisenessResult{}, fmt.Errorf("experiments: rewrite failed: %w", err)
 	}
 	return ConcisenessResult{
 		StateElim:       big,
@@ -100,7 +109,7 @@ func RunConciseness() ConcisenessResult {
 		StateElimTokens: big.Tokens(),
 		RewriteTokens:   small.Tokens(),
 		Trace:           g.Trace(),
-	}
+	}, nil
 }
 
 func split(w string) []string {

@@ -85,3 +85,58 @@ func header(title string) string {
 	line := strings.Repeat("=", len(title))
 	return line + "\n" + title + "\n" + line + "\n"
 }
+
+// Config tunes a Run invocation; zero fields take each experiment's
+// defaults (200 trials, 20 steps, seed 1).
+type Config struct {
+	// Seed drives sample generation and subsampling.
+	Seed int64
+	// Trials is the Figure 4 subsample count per size.
+	Trials int
+	// Steps is the Figure 4 sample-size count per panel.
+	Steps int
+	// CSV renders Figure 4 as CSV instead of aligned columns.
+	CSV bool
+}
+
+// Names lists the runnable experiments in the order "all" runs them.
+func Names() []string {
+	return []string{"conciseness", "table1", "table2", "figure4", "perf", "ablation"}
+}
+
+// Run executes one named experiment and returns its rendered report. A
+// failing experiment returns an error instead of panicking, so a driver
+// running several experiments can report the failure and continue with
+// the rest.
+func Run(name string, cfg Config) (string, error) {
+	switch name {
+	case "conciseness":
+		r, err := RunConciseness()
+		if err != nil {
+			return "", err
+		}
+		return FormatConciseness(r), nil
+	case "table1":
+		return FormatTable1(RunTable1(cfg.Seed)), nil
+	case "table2":
+		return FormatTable2(RunTable2(cfg.Seed)), nil
+	case "figure4":
+		results, err := RunFigure4(&Figure4Config{Trials: cfg.Trials, Steps: cfg.Steps, Seed: cfg.Seed})
+		if err != nil {
+			return "", err
+		}
+		if cfg.CSV {
+			return FormatFigure4CSV(results), nil
+		}
+		return FormatFigure4(results), nil
+	case "perf":
+		r, err := RunPerf(cfg.Seed)
+		if err != nil {
+			return "", err
+		}
+		return FormatPerf(r), nil
+	case "ablation":
+		return FormatAblation(RunAblation(cfg.Seed)), nil
+	}
+	return "", fmt.Errorf("experiments: unknown experiment %q", name)
+}

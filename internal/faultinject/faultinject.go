@@ -1,0 +1,110 @@
+// Package faultinject is a deterministic fault-injection registry for
+// robustness tests. Production code places hook points — Fire(point, key)
+// calls — at failure-relevant boundaries (the learner dispatch in
+// internal/core, one per engine attempt); tests register faults against a
+// (point, key) pair and the hook then panics, sleeps, or returns an error
+// exactly where the registration says. With no registrations the hook is a
+// single atomic load, so the hooks stay compiled into production binaries
+// at effectively zero cost.
+//
+// Points are dot-separated hook names ("engine.idtd"); keys identify the
+// unit of work passing the hook (an element name). The registry is global
+// and guarded, so tests that register faults must not run in parallel with
+// each other; Reset restores the no-op state.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what a hook point does when it fires. Fields compose:
+// a Fault with both Delay and Err sleeps first, then returns the error;
+// Panic takes precedence over Err.
+type Fault struct {
+	// Panic makes the hook panic with a *Panic value carrying the point
+	// and key, exercising recover barriers.
+	Panic bool
+	// Delay makes the hook sleep, exercising deadline budgets.
+	Delay time.Duration
+	// Err is returned by the hook, exercising error-degradation paths.
+	Err error
+}
+
+// Panic is the value thrown by a Panic fault, so recover barriers in tests
+// can distinguish injected panics from real ones.
+type Panic struct {
+	Point, Key string
+}
+
+func (p *Panic) Error() string {
+	return "faultinject: injected panic at " + p.Point + "/" + p.Key
+}
+
+var (
+	// armed short-circuits Fire when no fault is registered.
+	armed atomic.Bool
+	mu    sync.Mutex
+	// faults maps point -> key -> fault.
+	faults map[string]map[string]Fault
+)
+
+// Set registers a fault for a (point, key) pair, replacing any previous
+// registration for the pair. The empty key matches every key at the point.
+func Set(point, key string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if faults == nil {
+		faults = map[string]map[string]Fault{}
+	}
+	byKey := faults[point]
+	if byKey == nil {
+		byKey = map[string]Fault{}
+		faults[point] = byKey
+	}
+	byKey[key] = f
+	armed.Store(true)
+}
+
+// Reset clears every registration, restoring the production no-op state.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = nil
+	armed.Store(false)
+}
+
+// Fire is the hook point: a no-op (one atomic load) unless a fault is
+// registered for (point, key) or (point, ""). A firing fault sleeps for
+// its Delay, then panics if Panic is set, then returns its Err.
+func Fire(point, key string) error {
+	if !armed.Load() {
+		return nil
+	}
+	f, ok := lookup(point, key)
+	if !ok {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic {
+		panic(&Panic{Point: point, Key: key})
+	}
+	return f.Err
+}
+
+func lookup(point, key string) (Fault, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	byKey := faults[point]
+	if byKey == nil {
+		return Fault{}, false
+	}
+	if f, ok := byKey[key]; ok {
+		return f, true
+	}
+	f, ok := byKey[""]
+	return f, ok
+}

@@ -1,0 +1,72 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFireUnarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Fire("engine.idtd", "a"); err != nil {
+		t.Errorf("unarmed Fire = %v", err)
+	}
+}
+
+func TestErrFault(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", "k", Fault{Err: boom})
+	if err := Fire("p", "k"); !errors.Is(err, boom) {
+		t.Errorf("Fire = %v, want the registered error", err)
+	}
+	if err := Fire("p", "other"); err != nil {
+		t.Errorf("other key fired: %v", err)
+	}
+	if err := Fire("other", "k"); err != nil {
+		t.Errorf("other point fired: %v", err)
+	}
+}
+
+func TestEmptyKeyMatchesAll(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", "", Fault{Err: boom})
+	if err := Fire("p", "anything"); !errors.Is(err, boom) {
+		t.Errorf("wildcard key did not fire: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Reset()
+	Set("p", "k", Fault{Panic: true})
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok || p.Point != "p" || p.Key != "k" {
+			t.Errorf("recovered %v, want *Panic{p, k}", r)
+		}
+	}()
+	Fire("p", "k")
+	t.Error("Fire did not panic")
+}
+
+func TestDelayFault(t *testing.T) {
+	defer Reset()
+	Set("p", "k", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("p", "k"); err != nil {
+		t.Errorf("delay-only fault returned %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("Fire returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	Set("p", "k", Fault{Err: errors.New("boom")})
+	Reset()
+	if err := Fire("p", "k"); err != nil {
+		t.Errorf("Fire after Reset = %v", err)
+	}
+}

@@ -1,9 +1,11 @@
 package gfa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"dtdinfer/internal/budget"
 	"dtdinfer/internal/regex"
 	smp "dtdinfer/internal/sample"
 	"dtdinfer/internal/soa"
@@ -24,15 +26,28 @@ var ErrEmpty = errors.New("gfa: automaton has no symbols")
 // Claim 2 of the paper — but a fixed order makes runs reproducible). It
 // returns the number of rule applications.
 func (g *GFA) Saturate() int {
+	steps, _ := g.SaturateContext(context.Background())
+	return steps
+}
+
+// SaturateContext is Saturate with a cancellation checkpoint before every
+// rule application — the rewrite hot loop can run thousands of steps on
+// large automata, and each step is cheap enough that a per-step ctx.Err()
+// is lost in the noise. It returns the steps applied so far alongside any
+// context error.
+func (g *GFA) SaturateContext(ctx context.Context) (int, error) {
 	steps := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return steps, err
+		}
 		switch {
 		case g.TryOptional():
 		case g.TrySelfLoop():
 		case g.TryConcat():
 		case g.TryDisjunction():
 		default:
-			return steps
+			return steps, nil
 		}
 		steps++
 	}
@@ -44,11 +59,22 @@ func (g *GFA) Saturate() int {
 // normalized to use the Kleene star for (r+)? forms, as the paper's
 // post-processing step prescribes.
 func Rewrite(a *soa.SOA) (*regex.Expr, error) {
+	return RewriteContext(context.Background(), a)
+}
+
+// RewriteContext is Rewrite under a context, honoring the state budget the
+// context carries and checking for cancellation inside the rewrite loop.
+func RewriteContext(ctx context.Context, a *soa.SOA) (*regex.Expr, error) {
 	if len(a.Symbols()) == 0 {
 		return nil, ErrEmpty
 	}
+	if err := budget.CheckStates(ctx, len(a.Symbols())); err != nil {
+		return nil, err
+	}
 	g := FromSOA(a)
-	g.Saturate()
+	if _, err := g.SaturateContext(ctx); err != nil {
+		return nil, err
+	}
 	return g.Result()
 }
 
@@ -57,6 +83,11 @@ func Rewrite(a *soa.SOA) (*regex.Expr, error) {
 // used to reproduce Figure 4's "rewrite" curve.
 func InferSample(s *smp.Set) (*regex.Expr, error) {
 	return Rewrite(soa.InferSample(s))
+}
+
+// InferSampleContext is InferSample under a context.
+func InferSampleContext(ctx context.Context, s *smp.Set) (*regex.Expr, error) {
+	return RewriteContext(ctx, soa.InferSample(s))
 }
 
 // Result extracts the regular expression of a saturated GFA. Besides the

@@ -16,6 +16,9 @@
 package idtd
 
 import (
+	"context"
+
+	"dtdinfer/internal/budget"
 	"dtdinfer/internal/gfa"
 	"dtdinfer/internal/regex"
 	smp "dtdinfer/internal/sample"
@@ -109,14 +112,33 @@ func InferSample(s *smp.Set, opts *Options) (*Result, error) {
 	return FromSOA(soa.InferSample(s), opts)
 }
 
+// InferSampleContext is InferSample under a context: the repair search
+// checks for cancellation between iterations, and the automaton is checked
+// against any state budget the context carries.
+func InferSampleContext(ctx context.Context, s *smp.Set, opts *Options) (*Result, error) {
+	return FromSOAContext(ctx, soa.InferSample(s), opts)
+}
+
 // FromSOA runs iDTD (Algorithm 2) on an already-inferred automaton.
 func FromSOA(a *soa.SOA, opts *Options) (*Result, error) {
+	return FromSOAContext(context.Background(), a, opts)
+}
+
+// FromSOAContext is FromSOA with cooperative cancellation and budget
+// checks: the automaton is rejected up front when it exceeds the context's
+// state budget, and every repair-search iteration (the algorithm's only
+// unbounded-feeling loop — each iteration is polynomial but the repair
+// escalation can run for many) is a cancellation checkpoint.
+func FromSOAContext(ctx context.Context, a *soa.SOA, opts *Options) (*Result, error) {
 	o := opts.withDefaults()
 	if len(a.Symbols()) == 0 {
 		return nil, gfa.ErrEmpty
 	}
 	syms := a.Symbols()
 	n := len(syms)
+	if err := budget.CheckStates(ctx, n); err != nil {
+		return nil, err
+	}
 	if o.MaxK == 0 {
 		o.MaxK = n + 2
 	}
@@ -131,7 +153,12 @@ func FromSOA(a *soa.SOA, opts *Options) (*Result, error) {
 	k := o.K
 	res.MaxKUsed = k
 	for {
-		g.Saturate()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := g.SaturateContext(ctx); err != nil {
+			return nil, err
+		}
 		if r, err := g.Result(); err == nil {
 			res.Expr = r
 			res.Trace = g.Trace()

@@ -8,8 +8,10 @@
 package stateelim
 
 import (
+	"context"
 	"errors"
 
+	"dtdinfer/internal/budget"
 	"dtdinfer/internal/regex"
 	"dtdinfer/internal/sample"
 	"dtdinfer/internal/soa"
@@ -22,6 +24,14 @@ var ErrEmptyLanguage = errors.New("stateelim: automaton accepts no strings")
 // counted, interned sample.
 func InferSample(s *sample.Set) (*regex.Expr, error) {
 	return FromSOA(soa.InferSample(s))
+}
+
+// InferSampleContext is InferSample under a context. State elimination is
+// the engine most prone to blow-up (its output can be exponential in the
+// automaton), so the context's state budget and a per-eliminated-state
+// cancellation checkpoint matter most here.
+func InferSampleContext(ctx context.Context, s *sample.Set) (*regex.Expr, error) {
+	return FromSOAContext(ctx, soa.InferSample(s))
 }
 
 // label is a GNFA edge label: a regular language given by an optional
@@ -81,7 +91,17 @@ func starLabel(a label) label {
 // simplified beyond trivial flattening — the point of the baseline is the
 // raw size of the expression the textbook algorithm produces.
 func FromSOA(a *soa.SOA) (*regex.Expr, error) {
+	return FromSOAContext(context.Background(), a)
+}
+
+// FromSOAContext is FromSOA with cooperative cancellation (one checkpoint
+// per eliminated state, each of which can square the label sizes) and the
+// context's state budget checked up front.
+func FromSOAContext(ctx context.Context, a *soa.SOA) (*regex.Expr, error) {
 	syms := a.Symbols()
+	if err := budget.CheckStates(ctx, len(syms)); err != nil {
+		return nil, err
+	}
 	const src, snk = "⊢", "⊣"
 	// edge[from][to] holds the current label.
 	edge := map[string]map[string]label{}
@@ -112,6 +132,9 @@ func FromSOA(a *soa.SOA) (*regex.Expr, error) {
 		set(src, snk, label{hasEps: true})
 	}
 	for _, q := range syms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		loop := starLabel(edge[q][q])
 		delete(edge[q], q)
 		var ins []string

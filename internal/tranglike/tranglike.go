@@ -10,14 +10,22 @@
 package tranglike
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"strconv"
 
+	"dtdinfer/internal/budget"
 	"dtdinfer/internal/gfa"
 	"dtdinfer/internal/regex"
 	smp "dtdinfer/internal/sample"
 	"dtdinfer/internal/soa"
 )
+
+// ErrCycle is reported when the contracted DAG — acyclic by construction
+// on well-formed automata — contains a cycle, which can only arise from a
+// corrupted or adversarial automaton. Callers degrade instead of crashing.
+var ErrCycle = errors.New("tranglike: cycle in contracted DAG")
 
 // Infer runs the Trang-like pipeline on a sample.
 func Infer(sample [][]string) (*regex.Expr, error) {
@@ -30,18 +38,40 @@ func InferSample(s *smp.Set) (*regex.Expr, error) {
 	return FromSOA(soa.InferSample(s))
 }
 
+// InferSampleContext is InferSample under a context, honoring the state
+// budget the context carries and checking for cancellation during
+// serialization.
+func InferSampleContext(ctx context.Context, s *smp.Set) (*regex.Expr, error) {
+	return FromSOAContext(ctx, soa.InferSample(s))
+}
+
 // FromSOA converts an inferred automaton into a regular expression:
 // SCC contraction, merging of equal-context nodes into disjunctions,
 // branch decomposition at the source, and topological serialization with
 // ? marks on skippable nodes.
 func FromSOA(a *soa.SOA) (*regex.Expr, error) {
+	return FromSOAContext(context.Background(), a)
+}
+
+// FromSOAContext is FromSOA with cooperative cancellation and budget
+// checks.
+func FromSOAContext(ctx context.Context, a *soa.SOA) (*regex.Expr, error) {
 	syms := a.Symbols()
 	if len(syms) == 0 {
 		return nil, gfa.ErrEmpty
 	}
+	if err := budget.CheckStates(ctx, len(syms)); err != nil {
+		return nil, err
+	}
 	d := buildDAG(a)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d.mergeEqualContexts()
-	e := d.serialize()
+	e, err := d.serialize(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if a.AcceptsEmpty() && !e.Nullable() {
 		e = regex.Opt(e)
 	}
@@ -252,13 +282,20 @@ func (d *dag) merge(group []int) {
 // branches whose node sets are disjoint (yielding a top-level disjunction,
 // as Trang does on example1), then linearize each branch topologically,
 // marking nodes that some accepted path skips with ?.
-func (d *dag) serialize() *regex.Expr {
+func (d *dag) serialize(ctx context.Context) (*regex.Expr, error) {
 	comps := d.components()
 	var branches []*regex.Expr
 	for _, comp := range comps {
-		branches = append(branches, d.serializeBranch(comp))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b, err := d.serializeBranch(comp)
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, b)
 	}
-	return regex.Union(branches...)
+	return regex.Union(branches...), nil
 }
 
 // components groups alive nodes into weakly connected components, each a
@@ -296,12 +333,15 @@ func (d *dag) components() [][]int {
 	return comps
 }
 
-func (d *dag) serializeBranch(comp []int) *regex.Expr {
+func (d *dag) serializeBranch(comp []int) (*regex.Expr, error) {
 	inComp := map[int]bool{}
 	for _, i := range comp {
 		inComp[i] = true
 	}
-	order := d.topo(comp)
+	order, err := d.topo(comp)
+	if err != nil {
+		return nil, err
+	}
 	var factors []*regex.Expr
 	for _, i := range order {
 		e := d.nodes[i].expr()
@@ -310,10 +350,12 @@ func (d *dag) serializeBranch(comp []int) *regex.Expr {
 		}
 		factors = append(factors, e)
 	}
-	return regex.Concat(factors...)
+	return regex.Concat(factors...), nil
 }
 
-func (d *dag) topo(comp []int) []int {
+// topo linearizes one branch; it fails with ErrCycle instead of looping
+// or crashing when the contracted DAG is not actually acyclic.
+func (d *dag) topo(comp []int) ([]int, error) {
 	indeg := map[int]int{}
 	for _, i := range comp {
 		n := 0
@@ -333,7 +375,7 @@ func (d *dag) topo(comp []int) []int {
 			}
 		}
 		if best < 0 {
-			panic("tranglike: cycle in contracted DAG")
+			return nil, ErrCycle
 		}
 		order = append(order, best)
 		delete(indeg, best)
@@ -343,7 +385,7 @@ func (d *dag) topo(comp []int) []int {
 			}
 		}
 	}
-	return order
+	return order, nil
 }
 
 // mandatory reports whether every accepted path through the branch visits

@@ -18,6 +18,7 @@
 package xtract
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -58,7 +59,7 @@ func (o *Options) withDefaults() Options {
 
 // Infer runs the XTRACT pipeline and returns the inferred expression.
 func Infer(sample [][]string, opts *Options) (*regex.Expr, error) {
-	return inferDistinct(dedup(sample), opts)
+	return inferDistinct(context.Background(), dedup(sample), opts)
 }
 
 // InferSample is Infer on a counted, interned sample. XTRACT operates on
@@ -67,13 +68,20 @@ func Infer(sample [][]string, opts *Options) (*regex.Expr, error) {
 // otherwise performs itself, and the result is identical to Infer on the
 // expanded strings.
 func InferSample(s *smp.Set, opts *Options) (*regex.Expr, error) {
+	return InferSampleContext(context.Background(), s, opts)
+}
+
+// InferSampleContext is InferSample under a context: the MDL candidate
+// enumeration — the system's known blow-up, quadratic in candidates times
+// strings — checks for cancellation per candidate and per greedy round.
+func InferSampleContext(ctx context.Context, s *smp.Set, opts *Options) (*regex.Expr, error) {
 	distinct := s.UniqueStrings()
 	sort.Slice(distinct, func(i, j int) bool { return key(distinct[i]) < key(distinct[j]) })
-	return inferDistinct(distinct, opts)
+	return inferDistinct(ctx, distinct, opts)
 }
 
 // inferDistinct runs the pipeline over deduplicated, key-sorted strings.
-func inferDistinct(distinct [][]string, opts *Options) (*regex.Expr, error) {
+func inferDistinct(ctx context.Context, distinct [][]string, opts *Options) (*regex.Expr, error) {
 	o := opts.withDefaults()
 	if len(distinct) == 0 {
 		return nil, errors.New("xtract: empty sample")
@@ -94,7 +102,10 @@ func inferDistinct(distinct [][]string, opts *Options) (*regex.Expr, error) {
 		return nil, errors.New("xtract: only empty strings in sample")
 	}
 	candidates := generalize(strs, o.MaxBlock)
-	chosen := mdlChoose(strs, candidates)
+	chosen, err := mdlChoose(ctx, strs, candidates)
+	if err != nil {
+		return nil, err
+	}
 	e := factor(chosen)
 	if hasEmpty {
 		e = regex.Opt(e)
@@ -192,8 +203,11 @@ func blockEqual(w []string, i, j, l int) bool {
 }
 
 // mdlChoose greedily selects a candidate subset covering every string,
-// minimizing expression size plus encoding cost (facility location).
-func mdlChoose(strs [][]string, candidates []*regex.Expr) []*regex.Expr {
+// minimizing expression size plus encoding cost (facility location). The
+// context is checked once per candidate during coverage evaluation and
+// once per greedy round, the two loops whose product makes XTRACT's cost
+// explode on large samples.
+func mdlChoose(ctx context.Context, strs [][]string, candidates []*regex.Expr) ([]*regex.Expr, error) {
 	type cand struct {
 		e       *regex.Expr
 		nfa     *automata.NFA
@@ -203,6 +217,9 @@ func mdlChoose(strs [][]string, candidates []*regex.Expr) []*regex.Expr {
 	}
 	cands := make([]*cand, 0, len(candidates))
 	for _, e := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := &cand{e: e, nfa: automata.Glushkov(e), size: e.Tokens()}
 		for i, w := range strs {
 			if c.nfa.Member(w) {
@@ -220,6 +237,9 @@ func mdlChoose(strs [][]string, candidates []*regex.Expr) []*regex.Expr {
 	}
 	var chosen []*regex.Expr
 	for len(uncovered) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestIdx, bestRatio := -1, 0.0
 		for ci, c := range cands {
 			gain := 0
@@ -248,7 +268,7 @@ func mdlChoose(strs [][]string, candidates []*regex.Expr) []*regex.Expr {
 		}
 	}
 	sort.Slice(chosen, func(i, j int) bool { return chosen[i].String() < chosen[j].String() })
-	return chosen
+	return chosen, nil
 }
 
 // encodingCost approximates the MDL cost of deriving w from e: one unit per

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke
+.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile
 
 build:
 	$(GO) build ./...
@@ -28,25 +28,37 @@ check: fmt-check vet race
 
 # bench records the perf-trajectory workloads (Section 8.3 timings, the
 # end-to-end pipeline at several ingestion worker counts, the isolated
-# sharded-ingestion benchmark, and the dedup-vs-verbatim sample pipeline
-# comparison) as BENCH_PR4.json via cmd/benchjson.
-BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDedup
+# sharded-ingestion benchmark at both decoders, and the dedup-vs-verbatim
+# sample pipeline comparison) as BENCH_PR5.json via cmd/benchjson.
+BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDecoder|BenchmarkIngestDedup
 BENCH_COUNT ?= 3x
 
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_COUNT) . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
+		| $(GO) run ./cmd/benchjson > BENCH_PR5.json
 
-# bench-smoke is the CI gate: every benchmark must run once without failing.
+# bench-smoke is the CI gate: every benchmark must run once without
+# failing; the decoder benchmark covers both the fast and the std path.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
+# profile records CPU and allocation pprof profiles over the ingestion
+# benchmark; inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
+PROFILE_BENCH ?= BenchmarkIngestParallel/workers1
+profile:
+	$(GO) test -run xxx -bench '$(PROFILE_BENCH)' -benchtime 10x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "wrote cpu.pprof and mem.pprof (go tool pprof <file>)"
+
 # fuzz-smoke runs each fuzz target briefly; go permits one -fuzz target
-# per invocation, hence four commands.
+# per invocation, hence one command per target. FuzzTokenizerEquivalence
+# is the differential gate holding the fast decoder to encoding/xml.
 FUZZTIME ?= 10s
 
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/dtd
 	$(GO) test -run xxx -fuzz FuzzExtraction -fuzztime $(FUZZTIME) ./internal/dtd
+	$(GO) test -run xxx -fuzz FuzzTokenizerEquivalence -fuzztime $(FUZZTIME) ./internal/dtd
+	$(GO) test -run xxx -fuzz FuzzStreamEquivalence -fuzztime $(FUZZTIME) ./internal/xmltok
 	$(GO) test -run xxx -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/sample
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/regex

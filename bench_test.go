@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dtdinfer/internal/automata"
@@ -191,8 +192,15 @@ func BenchmarkEndToEndDTD(b *testing.B) {
 }
 
 func benchCorpus(b *testing.B, n, workers int) {
-	docs := corpusDocs(n)
+	docs, docBytes := corpusDocs(n)
 	opts := &Options{Parallelism: workers}
+	// Emit the workload shape alongside the timings: parallel ingestion
+	// only pays off once the corpus outweighs the goroutine/merge overhead
+	// and GOMAXPROCS actually offers cores, so regressions in par* vs seq
+	// are uninterpretable without both numbers.
+	b.ReportMetric(float64(n), "corpus-docs")
+	b.ReportMetric(float64(docBytes), "corpus-bytes")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := InferDTD(docs(), IDTD, opts); err != nil {
@@ -204,9 +212,11 @@ func benchCorpus(b *testing.B, n, workers int) {
 // BenchmarkIngestParallel isolates the sharded ingestion pipeline (XML
 // decoding and extraction, no inference) across worker counts.
 func BenchmarkIngestParallel(b *testing.B) {
-	docs := corpusDocs(400)
+	docs, docBytes := corpusDocs(400)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(docBytes), "corpus-bytes")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 			for i := 0; i < b.N; i++ {
 				x := NewExtraction()
 				if _, err := x.AddDocumentsParallel(docs(), workers, nil, dtd.FailFast); err != nil {
@@ -217,11 +227,35 @@ func BenchmarkIngestParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestDecoder contrasts the two XML decoder paths on the same
+// sequential ingestion workload: "fast" is the structure-only tokenizer
+// (the default), "std" the encoding/xml fallback kept as the
+// differential-testing oracle.
+func BenchmarkIngestDecoder(b *testing.B) {
+	docs, _ := corpusDocs(400)
+	for _, decoder := range []dtd.DecoderKind{dtd.DecoderFast, dtd.DecoderStd} {
+		b.Run(decoder.String(), func(b *testing.B) {
+			opts := &IngestOptions{Decoder: decoder}
+			for i := 0; i < b.N; i++ {
+				x := NewExtraction()
+				if _, err := x.AddDocuments(docs(), opts, dtd.FailFast); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // corpusDocs returns a factory of fresh readers over a generated Protein
-// corpus (readers are consumed by each inference run).
-func corpusDocs(n int) func() []io.Reader {
+// corpus (readers are consumed by each inference run) plus the corpus
+// byte size.
+func corpusDocs(n int) (func() []io.Reader, int64) {
 	docs := corpus.Protein(1, n)
-	return func() []io.Reader { return corpus.Documents(docs) }
+	var bytes int64
+	for _, d := range docs {
+		bytes += int64(len(d))
+	}
+	return func() []io.Reader { return corpus.Documents(docs) }, bytes
 }
 
 // BenchmarkIngestDedup contrasts the two sample pipelines on a

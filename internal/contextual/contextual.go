@@ -16,6 +16,7 @@
 package contextual
 
 import (
+	"bytes"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -26,6 +27,7 @@ import (
 	"dtdinfer/internal/automata"
 	"dtdinfer/internal/dtd"
 	"dtdinfer/internal/regex"
+	"dtdinfer/internal/xmltok"
 )
 
 // Context identifies where an element occurs: its name preceded by up to
@@ -100,12 +102,91 @@ func (x *Extraction) Merge(o *Extraction) {
 }
 
 // extractOne runs the decode loop over one document, mutating x directly;
-// AddDocumentOptions runs it on a staging extraction for atomicity.
+// AddDocumentOptions runs it on a staging extraction for atomicity. The
+// decoder is selected by opts.Decoder exactly as in package dtd: the fast
+// structure tokenizer by default, encoding/xml on DecoderStd.
 func (x *Extraction) extractOne(r io.Reader, opts *dtd.IngestOptions) error {
 	var o dtd.IngestOptions
 	if opts != nil {
 		o = *opts
 	}
+	if o.Decoder == dtd.DecoderStd {
+		return x.extractOneStd(r, o)
+	}
+	return x.extractOneFast(r, o)
+}
+
+// extractOneFast is extractOne over the zero-copy structure tokenizer.
+// Both loops maintain their own frame stack and apply the caps in the
+// same order, so acceptance and extraction state are identical.
+func (x *Extraction) extractOneFast(r io.Reader, o dtd.IngestOptions) error {
+	tok := xmltok.NewTokenizer()
+	tok.Reset(dtd.MeterReader(r, o.MaxBytes))
+	type frame struct {
+		name     string
+		ctx      Context
+		children []string
+	}
+	var stack []frame
+	var tokens int64
+	names := map[string]bool{}
+	for {
+		kind, err := tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var le *dtd.LimitError
+			if errors.As(err, &le) {
+				return le
+			}
+			return fmt.Errorf("contextual: parsing XML: %w", err)
+		}
+		tokens++
+		if o.MaxTokens > 0 && tokens > o.MaxTokens {
+			return &dtd.LimitError{Limit: "tokens", Max: o.MaxTokens, Offset: tok.InputOffset()}
+		}
+		switch kind {
+		case xmltok.StartElement:
+			if o.MaxDepth > 0 && len(stack) >= o.MaxDepth {
+				return &dtd.LimitError{Limit: "depth", Max: int64(o.MaxDepth), Offset: tok.InputOffset()}
+			}
+			name := string(tok.Name())
+			if !names[name] {
+				if o.MaxNames > 0 && len(names) >= o.MaxNames {
+					return &dtd.LimitError{Limit: "names", Max: int64(o.MaxNames), Offset: tok.InputOffset()}
+				}
+				names[name] = true
+			}
+			if len(stack) == 0 {
+				x.Roots[name]++
+			} else {
+				stack[len(stack)-1].children = append(stack[len(stack)-1].children, name)
+			}
+			ancestors := make([]string, len(stack))
+			for i, f := range stack {
+				ancestors[i] = f.name
+			}
+			stack = append(stack, frame{name: name, ctx: x.context(ancestors, name)})
+		case xmltok.EndElement:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x.Sequences[top.ctx] = append(x.Sequences[top.ctx], top.children)
+		case xmltok.CharData:
+			if len(stack) > 0 && len(bytes.TrimSpace(tok.Text())) != 0 {
+				x.HasText[stack[len(stack)-1].ctx] = true
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("contextual: unbalanced XML document")
+	}
+	return nil
+}
+
+// extractOneStd is extractOne over encoding/xml, kept as the reference
+// oracle and selectable fallback.
+func (x *Extraction) extractOneStd(r io.Reader, o dtd.IngestOptions) error {
 	dec := xml.NewDecoder(dtd.MeterReader(r, o.MaxBytes))
 	type frame struct {
 		name     string

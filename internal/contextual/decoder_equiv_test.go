@@ -1,0 +1,60 @@
+package contextual
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dtdinfer/internal/dtd"
+)
+
+// Differential test: the contextual extraction loop must behave
+// identically over the fast structure tokenizer and encoding/xml —
+// same acceptance, same per-context state — under no caps and tight
+// caps, at several context widths.
+func TestContextualDecoderEquivalence(t *testing.T) {
+	corpus := []string{
+		`<a/>`,
+		`<db><rec id="a1"><name>n1</name></rec><rec><name/></rec></db>`,
+		`<book><name>t</name><author><name>a</name></author></book>`,
+		`<a>t1<b/>t2<b/>t3</a>`,
+		`<a><![CDATA[raw]]></a>`,
+		"<a>\n\t\n</a>",
+		`<a xmlns:x="u" x:y="1"><x:b/></a>`,
+		`<!DOCTYPE r [<!ELEMENT r (a)>]><r><a/></r>`,
+		`<?pi data?><a/><!--c-->`,
+		`<日本語><子>値</子></日本語>`,
+		strings.Repeat("<d>", 30) + "x" + strings.Repeat("</d>", 30),
+		// Rejected inputs.
+		``,
+		`<a>`,
+		`<a><b></a></b>`,
+		`<a>&undefined;</a>`,
+		"<a>\xff\xfe</a>",
+	}
+	capsList := []dtd.IngestOptions{
+		{},
+		{MaxDepth: 10, MaxTokens: 64, MaxNames: 4, MaxBytes: 1 << 10},
+	}
+	for _, k := range []int{0, 1, 2} {
+		for _, caps := range capsList {
+			fastOpts, stdOpts := caps, caps
+			fastOpts.Decoder = dtd.DecoderFast
+			stdOpts.Decoder = dtd.DecoderStd
+			for _, doc := range corpus {
+				xf := NewExtraction(k)
+				errF := xf.AddDocumentOptions(strings.NewReader(doc), &fastOpts)
+				xs := NewExtraction(k)
+				errS := xs.AddDocumentOptions(strings.NewReader(doc), &stdOpts)
+				if (errF == nil) != (errS == nil) {
+					t.Fatalf("k=%d caps=%+v: acceptance differs for %q:\nfast: %v\nstd:  %v",
+						k, caps, doc, errF, errS)
+				}
+				if errF == nil && !reflect.DeepEqual(xf, xs) {
+					t.Fatalf("k=%d caps=%+v: extraction differs for %q:\nfast: %+v\nstd:  %+v",
+						k, caps, doc, xf, xs)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,490 @@
+package dtd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"dtdinfer/internal/intern"
+	"dtdinfer/internal/xmltok"
+)
+
+// The fast ingestion path: a reusable fastIngester drives the
+// structure-only tokenizer (internal/xmltok) and stages one document's
+// observations in a worker-local interned symbol space — no intermediate
+// strings on the repeat path — before committing them into the target
+// extraction. Commit produces state byte-identical to the encoding/xml
+// path (stdIngester), which is retained as the fallback decoder and the
+// differential-testing oracle; FuzzTokenizerEquivalence holds the two
+// paths to identical acceptance and identical extraction state.
+
+// ingester ingests one document into target, atomically: on error the
+// target is untouched. Implementations carry reusable staging state, so
+// one ingester must not be shared between goroutines, and a batch loop
+// amortizes its buffers across every document it feeds through.
+type ingester interface {
+	ingestOne(ctx context.Context, r io.Reader, opts *IngestOptions, target *Extraction) (docStats, error)
+}
+
+// newIngester picks the decoder implementation requested by opts
+// (nil/zero selects the fast tokenizer).
+func newIngester(opts *IngestOptions) ingester {
+	if opts != nil && opts.Decoder == DecoderStd {
+		return newStdIngester()
+	}
+	return newFastIngester()
+}
+
+// stdIngester is the encoding/xml path: stage into a scratch Extraction
+// plus verbatim sequence buffers, then Merge + commit on success.
+type stdIngester struct {
+	stage *Extraction
+	seqs  map[string][][]string
+}
+
+func newStdIngester() *stdIngester {
+	return &stdIngester{stage: NewExtraction(), seqs: map[string][][]string{}}
+}
+
+func (g *stdIngester) ingestOne(ctx context.Context, r io.Reader, opts *IngestOptions, target *Extraction) (docStats, error) {
+	g.stage.reset()
+	clear(g.seqs)
+	stats, err := g.stage.extractOne(ctx, r, opts, g.seqs)
+	if err != nil {
+		return stats, err
+	}
+	target.Merge(g.stage)
+	target.commitSequences(g.seqs)
+	return stats, nil
+}
+
+// fastFrame is one open element during fast extraction.
+type fastFrame struct {
+	wid int32
+	// childStart is the start of this element's children span in childBuf.
+	childStart int
+	// nBinds counts xmlns prefix bindings this element introduced, undone
+	// when it closes.
+	nBinds int
+}
+
+// valCount is one staged attribute value with its per-document count.
+type valCount struct {
+	v string
+	n int
+}
+
+// attStage stages one element/attribute's per-document statistics. It
+// persists across documents (keyed maps and buffers are reused); epoch
+// marks the document it was last reset for.
+type attStage struct {
+	name     string
+	epoch    int64
+	present  int
+	overflow bool
+	// idx maps a value to its slot in vals; byte-keyed lookups on the
+	// repeat path are allocation-free.
+	idx  map[string]int
+	vals []valCount
+}
+
+// elemStage stages one element name's per-document observations, indexed
+// by worker-local symbol ID. Buffers persist across documents; epoch
+// marks the document the stage was last reset for, so a rejected
+// document's leftovers are invisible to the next one.
+type elemStage struct {
+	epoch int64
+	// arena concatenates this document's children sequences; ends[i] is
+	// the arena offset ending the i-th sequence.
+	arena []int32
+	ends  []int
+	// hasText marks non-whitespace character data; texts stages up to
+	// textCap trimmed samples (the target's remaining sample space, so a
+	// full target costs no string materialization at all).
+	hasText bool
+	texts   []string
+	textCap int
+	// atts stages attribute statistics; attsTouched lists the ones active
+	// this document in first-touch order.
+	atts        map[string]*attStage
+	attsTouched []*attStage
+	// remap caches worker-local symbol ID -> target sample.Set ID for
+	// this element's set, valid for the current target (remapEpoch).
+	remap      map[int32]int32
+	remapEpoch int64
+}
+
+// fastIngester drives xmltok over documents and stages observations in a
+// worker-local dense symbol space. One instance serves a whole batch (or
+// a parallel worker's run of shards): the tokenizer, the intern table,
+// and every staging buffer are reused across documents, so the per-
+// document cost on a warmed-up corpus is map probes and slice appends,
+// not allocations.
+//
+// The worker-local intern table grows with every distinct element name
+// the worker ever sees, including names from documents that are later
+// rejected; MaxNames bounds the growth per document, and the table dies
+// with the batch.
+type fastIngester struct {
+	tok   *xmltok.Tokenizer
+	names *intern.Table
+
+	epoch   int64
+	elems   []*elemStage // indexed by worker-local symbol ID
+	touched []int32      // symbols staged this document, first-touch order
+
+	stack    []fastFrame
+	childBuf []int32 // concatenated children spans of the open elements
+	rootBuf  []int32
+
+	// nsBind tracks live xmlns prefix bindings (innermost last) and
+	// bindLog the prefixes bound by currently open elements, engaged only
+	// when a document declares prefix bindings. The extraction filter
+	// needs them for one corner: an attribute whose prefix is bound to
+	// the literal value "xmlns" translates to Name.Space == "xmlns" under
+	// encoding/xml and is dropped as a namespace declaration.
+	nsBind  map[string][]string
+	bindLog []string
+
+	idBuf []int32 // commit scratch: one sequence in target-set IDs
+
+	target      *Extraction
+	targetEpoch int64
+}
+
+func newFastIngester() *fastIngester {
+	return &fastIngester{tok: xmltok.NewTokenizer(), names: intern.NewTable()}
+}
+
+// ingestOne decodes one document with the fast tokenizer under the same
+// caps, cancellation cadence and failure-atomicity as the encoding/xml
+// path, committing into target only on success.
+func (f *fastIngester) ingestOne(ctx context.Context, r io.Reader, opts *IngestOptions, target *Extraction) (docStats, error) {
+	var o IngestOptions
+	if opts != nil {
+		o = *opts
+	}
+	if target != f.target {
+		f.target = target
+		f.targetEpoch++
+	}
+	f.beginDoc()
+	done := ctx.Done()
+	mr := &meteredReader{r: r, max: o.MaxBytes}
+	tok := f.tok
+	tok.Reset(mr)
+	var stats docStats
+	for {
+		if done != nil && stats.tokens%cancelCheckInterval == 0 {
+			select {
+			case <-done:
+				return stats, ctx.Err()
+			default:
+			}
+		}
+		kind, err := tok.Next()
+		stats.bytes = mr.n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) {
+				return stats, le
+			}
+			return stats, fmt.Errorf("dtd: parsing XML: %w", err)
+		}
+		stats.tokens++
+		if o.MaxTokens > 0 && stats.tokens > o.MaxTokens {
+			return stats, &LimitError{Limit: "tokens", Max: o.MaxTokens, Offset: tok.InputOffset()}
+		}
+		switch kind {
+		case xmltok.StartElement:
+			stats.elements++
+			if o.MaxDepth > 0 && len(f.stack) >= o.MaxDepth {
+				return stats, &LimitError{Limit: "depth", Max: int64(o.MaxDepth), Offset: tok.InputOffset()}
+			}
+			if err := f.startElement(tok, &o); err != nil {
+				return stats, err
+			}
+		case xmltok.EndElement:
+			f.endElement()
+		case xmltok.CharData:
+			f.charData(tok.Text())
+		}
+	}
+	if len(f.stack) != 0 {
+		// Unreachable in practice — the tokenizer turns EOF with open
+		// elements into a syntax error — but kept as the same backstop
+		// the encoding/xml path has.
+		return stats, fmt.Errorf("dtd: unbalanced XML document")
+	}
+	f.commit(target)
+	return stats, nil
+}
+
+// beginDoc resets the per-document state, including leftovers of a
+// previous document that failed mid-parse.
+func (f *fastIngester) beginDoc() {
+	f.epoch++
+	f.touched = f.touched[:0]
+	f.stack = f.stack[:0]
+	f.childBuf = f.childBuf[:0]
+	f.rootBuf = f.rootBuf[:0]
+	for len(f.bindLog) > 0 {
+		f.unbindLast()
+	}
+}
+
+// stage returns the element's staging slot, resetting it on first touch
+// this document and recording it in the touched list.
+func (f *fastIngester) stage(w int32) *elemStage {
+	st := f.elems[w]
+	if st == nil {
+		st = &elemStage{}
+		f.elems[w] = st
+	}
+	if st.epoch != f.epoch {
+		st.epoch = f.epoch
+		st.arena = st.arena[:0]
+		st.ends = st.ends[:0]
+		st.hasText = false
+		st.texts = st.texts[:0]
+		st.textCap = -1
+		st.attsTouched = st.attsTouched[:0]
+		f.touched = append(f.touched, w)
+	}
+	return st
+}
+
+func (f *fastIngester) startElement(tok *xmltok.Tokenizer, o *IngestOptions) error {
+	w := int32(f.names.InternBytes(tok.Name()))
+	for len(f.elems) <= int(w) {
+		f.elems = append(f.elems, nil)
+	}
+	if o.MaxNames > 0 {
+		if st := f.elems[w]; st == nil || st.epoch != f.epoch {
+			if len(f.touched) >= o.MaxNames {
+				return &LimitError{Limit: "names", Max: int64(o.MaxNames), Offset: tok.InputOffset()}
+			}
+		}
+	}
+	st := f.stage(w)
+	if len(f.stack) == 0 {
+		f.rootBuf = append(f.rootBuf, w)
+	} else {
+		f.childBuf = append(f.childBuf, w)
+	}
+	nBinds := 0
+	if attrs := tok.Attr(); len(attrs) > 0 {
+		nBinds = f.recordAttrs(st, attrs)
+	}
+	f.stack = append(f.stack, fastFrame{wid: w, childStart: len(f.childBuf), nBinds: nBinds})
+	return nil
+}
+
+// recordAttrs stages one start tag's attributes, filtering namespace
+// declarations exactly like the encoding/xml path. Prefix bindings are
+// registered from every xmlns attribute before any attribute is
+// filtered, matching stdlib Token's sync-then-translate order (a binding
+// applies to attributes of its own element regardless of position).
+func (f *fastIngester) recordAttrs(st *elemStage, attrs []xmltok.Attr) (nBinds int) {
+	for i := range attrs {
+		a := &attrs[i]
+		if string(a.Prefix) == "xmlns" {
+			f.bindPrefix(string(a.Local), string(a.Value))
+			nBinds++
+		}
+	}
+	for i := range attrs {
+		a := &attrs[i]
+		if string(a.Prefix) == "xmlns" || (len(a.Prefix) == 0 && string(a.Local) == "xmlns") {
+			continue
+		}
+		if len(a.Prefix) != 0 && string(a.Prefix) != "xml" && f.boundTo(a.Prefix) == "xmlns" {
+			// The prefix resolves to the literal namespace "xmlns", so
+			// after stdlib translation Name.Space == "xmlns" and the
+			// extraction filter treats it as a namespace declaration.
+			continue
+		}
+		f.recordAttr(st, a.Local, a.Value)
+	}
+	return nBinds
+}
+
+func (f *fastIngester) bindPrefix(prefix, value string) {
+	if f.nsBind == nil {
+		f.nsBind = map[string][]string{}
+	}
+	f.nsBind[prefix] = append(f.nsBind[prefix], value)
+	f.bindLog = append(f.bindLog, prefix)
+}
+
+func (f *fastIngester) unbindLast() {
+	p := f.bindLog[len(f.bindLog)-1]
+	f.bindLog = f.bindLog[:len(f.bindLog)-1]
+	s := f.nsBind[p]
+	s = s[:len(s)-1]
+	if len(s) == 0 {
+		delete(f.nsBind, p)
+	} else {
+		f.nsBind[p] = s
+	}
+}
+
+// boundTo returns the innermost binding of prefix ("" when unbound).
+func (f *fastIngester) boundTo(prefix []byte) string {
+	if f.nsBind == nil {
+		return ""
+	}
+	s := f.nsBind[string(prefix)]
+	if len(s) == 0 {
+		return ""
+	}
+	return s[len(s)-1]
+}
+
+// recordAttr stages one attribute occurrence under the per-document
+// distinct-value cap, byte-keyed so repeated names and values cost no
+// allocation.
+func (f *fastIngester) recordAttr(st *elemStage, name, val []byte) {
+	if st.atts == nil {
+		st.atts = map[string]*attStage{}
+	}
+	a := st.atts[string(name)]
+	if a == nil {
+		a = &attStage{name: string(name), idx: map[string]int{}}
+		st.atts[a.name] = a
+	}
+	if a.epoch != f.epoch {
+		a.epoch = f.epoch
+		a.present = 0
+		a.overflow = false
+		clear(a.idx)
+		a.vals = a.vals[:0]
+		st.attsTouched = append(st.attsTouched, a)
+	}
+	a.present++
+	if slot, ok := a.idx[string(val)]; ok {
+		a.vals[slot].n++
+		return
+	}
+	if len(a.vals) >= maxAttValues {
+		a.overflow = true
+		return
+	}
+	v := string(val)
+	a.idx[v] = len(a.vals)
+	a.vals = append(a.vals, valCount{v: v, n: 1})
+}
+
+func (f *fastIngester) endElement() {
+	fr := f.stack[len(f.stack)-1]
+	f.stack = f.stack[:len(f.stack)-1]
+	st := f.stage(fr.wid)
+	st.arena = append(st.arena, f.childBuf[fr.childStart:]...)
+	st.ends = append(st.ends, len(st.arena))
+	f.childBuf = f.childBuf[:fr.childStart]
+	for i := 0; i < fr.nBinds; i++ {
+		f.unbindLast()
+	}
+}
+
+func (f *fastIngester) charData(text []byte) {
+	if len(f.stack) == 0 {
+		return
+	}
+	trimmed := bytes.TrimSpace(text)
+	if len(trimmed) == 0 {
+		return
+	}
+	w := f.stack[len(f.stack)-1].wid
+	st := f.stage(w)
+	st.hasText = true
+	if st.textCap < 0 {
+		st.textCap = maxTextSamples - len(f.target.TextSamples[f.names.Name(int(w))])
+		if st.textCap < 0 {
+			st.textCap = 0
+		}
+	}
+	if len(st.texts) < st.textCap {
+		st.texts = append(st.texts, string(trimmed))
+	}
+}
+
+// commit folds one successfully decoded document's staged observations
+// into the target, translating worker-local symbol IDs into each
+// element's sample.Set space via a cached remap — symbols intern in
+// observation order, so the resulting sets are byte-identical to the
+// stdIngester commit.
+func (f *fastIngester) commit(target *Extraction) {
+	for _, w := range f.touched {
+		st := f.elems[w]
+		name := f.names.Name(int(w))
+		if len(st.ends) > 0 {
+			set := target.sampleOf(name)
+			if st.remap == nil {
+				st.remap = map[int32]int32{}
+				st.remapEpoch = f.targetEpoch
+			} else if st.remapEpoch != f.targetEpoch {
+				clear(st.remap)
+				st.remapEpoch = f.targetEpoch
+			}
+			start := 0
+			for _, end := range st.ends {
+				f.idBuf = f.idBuf[:0]
+				for _, cw := range st.arena[start:end] {
+					id, ok := st.remap[cw]
+					if !ok {
+						id = int32(set.Intern(f.names.Name(int(cw))))
+						st.remap[cw] = id
+					}
+					f.idBuf = append(f.idBuf, id)
+				}
+				set.AddIDs(f.idBuf, 1)
+				start = end
+			}
+		}
+		if st.hasText {
+			target.HasText[name] = true
+		}
+		if len(st.texts) > 0 {
+			target.TextSamples[name] = append(target.TextSamples[name], st.texts...)
+		}
+		for _, a := range st.attsTouched {
+			f.commitAttr(target, name, a)
+		}
+	}
+	for _, w := range f.rootBuf {
+		target.Roots[f.names.Name(int(w))]++
+	}
+	target.Documents++
+}
+
+// commitAttr folds one staged attribute statistic into the target,
+// honoring the accumulated distinct-value cap like mergeAttStats.
+func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) {
+	atts := target.Attributes[elem]
+	if atts == nil {
+		atts = map[string]*attStats{}
+		target.Attributes[elem] = atts
+	}
+	st := atts[a.name]
+	if st == nil {
+		st = &attStats{values: map[string]int{}}
+		atts[a.name] = st
+	}
+	st.present += a.present
+	if a.overflow {
+		st.overflow = true
+	}
+	for _, vc := range a.vals {
+		if _, seen := st.values[vc.v]; !seen && len(st.values) >= maxAttValues {
+			st.overflow = true
+			continue
+		}
+		st.values[vc.v] += vc.n
+	}
+}

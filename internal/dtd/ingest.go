@@ -34,6 +34,43 @@ type IngestOptions struct {
 	MaxNames int
 	// MaxBytes caps the bytes read from one document (0 = unlimited).
 	MaxBytes int64
+	// Decoder selects the XML decoder driving extraction. The zero value
+	// (DecoderFast) is the structure-only tokenizer; DecoderStd selects
+	// the encoding/xml path kept as fallback and differential oracle.
+	Decoder DecoderKind
+}
+
+// DecoderKind selects which XML decoder extraction runs on.
+type DecoderKind int
+
+const (
+	// DecoderFast is the purpose-built zero-copy structure tokenizer
+	// (internal/xmltok) — the default.
+	DecoderFast DecoderKind = iota
+	// DecoderStd is the encoding/xml decoder, retained as a selectable
+	// fallback and as the differential-testing oracle.
+	DecoderStd
+)
+
+func (d DecoderKind) String() string {
+	switch d {
+	case DecoderFast:
+		return "fast"
+	case DecoderStd:
+		return "std"
+	}
+	return fmt.Sprintf("DecoderKind(%d)", int(d))
+}
+
+// ParseDecoder parses a -decoder flag value ("fast" or "std").
+func ParseDecoder(s string) (DecoderKind, error) {
+	switch s {
+	case "fast":
+		return DecoderFast, nil
+	case "std":
+		return DecoderStd, nil
+	}
+	return 0, fmt.Errorf("dtd: unknown decoder %q (want fast or std)", s)
 }
 
 // DefaultIngestOptions returns caps suitable for untrusted inputs:
@@ -176,14 +213,8 @@ type Doc struct {
 // on any error (malformed XML, unbalanced tags, violated cap) the
 // extraction is left exactly as it was.
 func (x *Extraction) AddDocumentOptions(r io.Reader, opts *IngestOptions) error {
-	stage := NewExtraction()
-	seqs := map[string][][]string{}
-	if _, err := stage.extractOne(context.Background(), r, opts, seqs); err != nil {
-		return err
-	}
-	x.Merge(stage)
-	x.commitSequences(seqs)
-	return nil
+	_, err := newIngester(opts).ingestOne(context.Background(), r, opts, x)
+	return err
 }
 
 // AddDocuments ingests a batch of documents with per-document fault
@@ -259,19 +290,19 @@ func (x *Extraction) AddDocsContext(ctx context.Context, docs []Doc, opts *Inges
 // single ingestion loop shared by the sequential and parallel batch APIs
 // (each parallel worker calls it on a private extraction).
 func ingestDocs(ctx context.Context, x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, policy ErrorPolicy, report *IngestReport) (*DocumentError, error) {
-	// One staging extraction and sequence buffer serve the whole batch,
-	// reset between documents, so per-document staging costs map clears
-	// instead of fresh map allocations.
-	stage := NewExtraction()
-	seqs := map[string][][]string{}
+	return runIngest(newIngester(opts), ctx, x, docs, baseIndex, opts, policy, report)
+}
+
+// runIngest is ingestDocs with a caller-owned ingester, letting a
+// parallel worker amortize one ingester's decoder and staging buffers
+// across every shard it claims.
+func runIngest(ing ingester, ctx context.Context, x *Extraction, docs []Doc, baseIndex int, opts *IngestOptions, policy ErrorPolicy, report *IngestReport) (*DocumentError, error) {
 	for i, doc := range docs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		report.Documents++
-		stage.reset()
-		clear(seqs)
-		stats, err := stage.extractOne(ctx, doc.R, opts, seqs)
+		stats, err := ing.ingestOne(ctx, doc.R, opts, x)
 		report.Bytes += stats.bytes
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
@@ -293,8 +324,6 @@ func ingestDocs(ctx context.Context, x *Extraction, docs []Doc, baseIndex int, o
 		report.Accepted++
 		report.Tokens += stats.tokens
 		report.Elements += stats.elements
-		x.Merge(stage)
-		x.commitSequences(seqs)
 	}
 	return nil, nil
 }

@@ -182,32 +182,37 @@ func TestIngestLimits(t *testing.T) {
 		{"defaults accept sane documents", wide, *DefaultIngestOptions(), ""},
 	}
 	for _, tc := range tests {
-		t.Run(tc.name, func(t *testing.T) {
-			x := NewExtraction()
-			err := x.AddDocumentOptions(strings.NewReader(tc.doc), &tc.opts)
-			if tc.limit == "" {
-				if err != nil {
-					t.Fatalf("want accept, got %v", err)
+		// The cap/XML-bomb corpus must hold under both decoders.
+		for _, decoder := range []DecoderKind{DecoderFast, DecoderStd} {
+			opts := tc.opts
+			opts.Decoder = decoder
+			t.Run(tc.name+"/"+decoder.String(), func(t *testing.T) {
+				x := NewExtraction()
+				err := x.AddDocumentOptions(strings.NewReader(tc.doc), &opts)
+				if tc.limit == "" {
+					if err != nil {
+						t.Fatalf("want accept, got %v", err)
+					}
+					return
 				}
-				return
-			}
-			var le *LimitError
-			if !errors.As(err, &le) {
-				t.Fatalf("want *LimitError, got %v", err)
-			}
-			if le.Limit != tc.limit {
-				t.Errorf("limit = %q, want %q (err: %v)", le.Limit, tc.limit, le)
-			}
-			if !errors.Is(err, ErrLimit) {
-				t.Error("limit errors must match ErrLimit")
-			}
-			if !strings.Contains(le.Error(), tc.limit) {
-				t.Errorf("error %q does not name the violated cap", le)
-			}
-			if x.Documents != 0 || len(x.Sequences) != 0 {
-				t.Error("rejected document leaked state into the extraction")
-			}
-		})
+				var le *LimitError
+				if !errors.As(err, &le) {
+					t.Fatalf("want *LimitError, got %v", err)
+				}
+				if le.Limit != tc.limit {
+					t.Errorf("limit = %q, want %q (err: %v)", le.Limit, tc.limit, le)
+				}
+				if !errors.Is(err, ErrLimit) {
+					t.Error("limit errors must match ErrLimit")
+				}
+				if !strings.Contains(le.Error(), tc.limit) {
+					t.Errorf("error %q does not name the violated cap", le)
+				}
+				if x.Documents != 0 || len(x.Sequences) != 0 {
+					t.Error("rejected document leaked state into the extraction")
+				}
+			})
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,80 @@ import (
 // shardsPerWorker oversubscribes the shard queue so a worker that lands on
 // cheap documents can steal further shards instead of idling.
 const shardsPerWorker = 4
+
+// sizeHint returns a document's byte size when cheaply knowable
+// (in-memory readers with Len, regular files), else -1. Used only for
+// load balancing; a wrong hint skews shard sizes, never results.
+func sizeHint(r io.Reader) int64 {
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		return int64(v.Len())
+	case *os.File:
+		if fi, err := v.Stat(); err == nil && fi.Mode().IsRegular() {
+			return fi.Size()
+		}
+	}
+	return -1
+}
+
+// shardBounds cuts docs into shardCount contiguous shards of roughly
+// equal *byte* weight — document counts make terrible shards when sizes
+// are skewed, leaving one worker grinding a giant file while the rest
+// idle. Documents without a size hint weigh the average of the known
+// sizes; when nothing is knowable the split degrades to equal counts.
+// Every shard gets at least one document (callers cap
+// shardCount <= len(docs)), and any contiguous partition preserves the
+// parallel-equals-sequential guarantee, so bounds only affect load
+// balance.
+func shardBounds(docs []Doc, shardCount int) []int {
+	bounds := make([]int, shardCount+1)
+	sizes := make([]int64, len(docs))
+	var known int64
+	knownCount := 0
+	for i, d := range docs {
+		sizes[i] = sizeHint(d.R)
+		if sizes[i] >= 0 {
+			known += sizes[i]
+			knownCount++
+		}
+	}
+	if knownCount == 0 {
+		for i := range bounds {
+			bounds[i] = i * len(docs) / shardCount
+		}
+		return bounds
+	}
+	avg := known / int64(knownCount)
+	if avg <= 0 {
+		avg = 1
+	}
+	var total int64
+	for i := range sizes {
+		if sizes[i] < 0 {
+			sizes[i] = avg
+		}
+		if sizes[i] == 0 {
+			sizes[i] = 1
+		}
+		total += sizes[i]
+	}
+	s := 1
+	var cum int64
+	for i := 0; i < len(docs) && s < shardCount; i++ {
+		cum += sizes[i]
+		// Cut when the running weight reaches this shard's byte target, or
+		// when the remaining documents are only just enough to give each
+		// remaining shard one.
+		if cum*int64(shardCount) >= total*int64(s) || len(docs)-(i+1) == shardCount-s {
+			bounds[s] = i + 1
+			s++
+		}
+	}
+	for ; s <= shardCount; s++ {
+		bounds[s] = len(docs)
+	}
+	return bounds
+}
 
 // AddDocumentsParallel ingests a batch of documents across workers
 // goroutines (workers <= 0 selects runtime.GOMAXPROCS(0)), labeling
@@ -85,10 +160,7 @@ func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, wor
 	if workers > shardCount {
 		workers = shardCount
 	}
-	bounds := make([]int, shardCount+1)
-	for i := range bounds {
-		bounds[i] = i * len(docs) / shardCount
-	}
+	bounds := shardBounds(docs, shardCount)
 	type shardResult struct {
 		x      *Extraction
 		report IngestReport
@@ -102,6 +174,11 @@ func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, wor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One ingester per worker: its decoder, staging buffers and
+			// worker-local symbol table are reused across every shard the
+			// worker claims, so per-shard cost is a fresh target
+			// extraction, not a fresh decode pipeline.
+			ing := newIngester(opts)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -117,7 +194,7 @@ func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, wor
 				}
 				s := &shards[si]
 				s.x = NewExtraction()
-				s.err, _ = ingestDocs(ctx, s.x, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
+				s.err, _ = runIngest(ing, ctx, s.x, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
 				if s.err != nil && policy == FailFast {
 					for {
 						cur := atomic.LoadInt64(&failedShard)

@@ -50,23 +50,28 @@ func reportString(r *IngestReport) string {
 
 func TestParallelExtractionIdenticalToSequential(t *testing.T) {
 	docs := genDocs(11, 150)
-	seq := NewExtraction()
-	seqReport, err := seq.AddDocs(docList(docs), nil, SkipAndRecord)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
-		par := NewExtraction()
-		parReport, err := par.AddDocsParallel(docList(docs), workers, nil, SkipAndRecord)
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		if !reflect.DeepEqual(seq, par) {
-			t.Errorf("workers=%d: extraction differs from sequential", workers)
-		}
-		if got, want := reportString(parReport), reportString(seqReport); got != want {
-			t.Errorf("workers=%d: report = %q, want %q", workers, got, want)
-		}
+	for _, decoder := range []DecoderKind{DecoderFast, DecoderStd} {
+		t.Run(decoder.String(), func(t *testing.T) {
+			opts := &IngestOptions{Decoder: decoder}
+			seq := NewExtraction()
+			seqReport, err := seq.AddDocs(docList(docs), opts, SkipAndRecord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+				par := NewExtraction()
+				parReport, err := par.AddDocsParallel(docList(docs), workers, opts, SkipAndRecord)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("workers=%d: extraction differs from sequential", workers)
+				}
+				if got, want := reportString(parReport), reportString(seqReport); got != want {
+					t.Errorf("workers=%d: report = %q, want %q", workers, got, want)
+				}
+			}
+		})
 	}
 }
 

@@ -32,6 +32,21 @@ func (t *Table) Intern(s string) int {
 	return id
 }
 
+// InternBytes is Intern for a byte-slice key. The repeat path — a name
+// seen before — is allocation-free: the compiler optimizes the
+// map[string]int lookup keyed by string(b) into a no-copy probe, and the
+// canonical string is materialized only on first sight.
+func (t *Table) InternBytes(b []byte) int {
+	if id, ok := t.ids[string(b)]; ok {
+		return id
+	}
+	s := string(b)
+	id := len(t.names)
+	t.ids[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
 // Lookup returns the ID of s without interning it.
 func (t *Table) Lookup(s string) (int, bool) {
 	id, ok := t.ids[s]

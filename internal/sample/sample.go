@@ -69,6 +69,29 @@ func (s *Set) AddCount(w []string, n int) {
 	s.bump(nil, n)
 }
 
+// Intern returns the ID of sym in s's symbol space, assigning the next
+// free ID on first sight. It lets decoders that stage sequences in a
+// private ID space translate into the Set's space once per distinct
+// symbol, then commit with AddIDs.
+func (s *Set) Intern(sym string) int { return s.tab.Intern(sym) }
+
+// AddIDs folds n occurrences of a sequence already expressed in s's own
+// ID space (every ID must come from Intern/Lookup). n <= 0 is a no-op.
+// The repeat path is allocation-free; the slice is copied on first sight,
+// so callers may reuse ids.
+func (s *Set) AddIDs(ids []int32, n int) {
+	if n <= 0 {
+		return
+	}
+	for _, id := range ids {
+		s.keyBuf = appendID(s.keyBuf, id)
+	}
+	// Passing nil lets bump decode a fresh copy from the key only when the
+	// sequence is new, so the caller keeps ownership of ids and the repeat
+	// path stays allocation-free.
+	s.bump(nil, n)
+}
+
 // addIDs folds n occurrences of a sequence already expressed in s's own ID
 // space (every ID must be interned). Used by Merge.
 func (s *Set) addIDs(ids []int32, n int) {

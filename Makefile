@@ -21,21 +21,45 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# race runs every test at GOMAXPROCS 1 and 4 (-cpu 1,4): single-CPU
+# containers still exercise the concurrent shard/commit paths under the
+# race detector at a parallelism the hardware alone would never pick.
+RACE_CPU ?= 1,4
+
 race:
-	$(GO) test -race -timeout 10m ./...
+	$(GO) test -race -timeout 10m -cpu $(RACE_CPU) ./...
 
 check: fmt-check vet race
 
 # bench records the perf-trajectory workloads (Section 8.3 timings, the
 # end-to-end pipeline at several ingestion worker counts, the isolated
 # sharded-ingestion benchmark at both decoders, and the dedup-vs-verbatim
-# sample pipeline comparison) as BENCH_PR5.json via cmd/benchjson.
+# sample pipeline comparison) as BENCH_PR6.json via cmd/benchjson.
+#
+# The ingestion benchmarks run over a generated corpus of BENCH_MB
+# megabytes (default 100) so worker counts are measured against a
+# workload that can amortize fan-out. The target refuses to record at
+# GOMAXPROCS < 2: BENCH_PR5 silently recorded every parallel entry at
+# gomaxprocs 1, which is how a parallel-ingestion regression stayed
+# invisible. On a single-CPU machine, set GOMAXPROCS explicitly (e.g.
+# GOMAXPROCS=4) to record an oversubscribed run — the per-entry
+# gomaxprocs/cpus metrics keep it honest.
 BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDecoder|BenchmarkIngestDedup
 BENCH_COUNT ?= 3x
+BENCH_MB ?= 100
+BENCH_OUT ?= BENCH_PR6.json
 
 bench:
-	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_COUNT) . \
-		| $(GO) run ./cmd/benchjson > BENCH_PR5.json
+	@gmp="$${GOMAXPROCS:-$$(nproc)}"; \
+	if [ "$$gmp" -lt 2 ]; then \
+		echo "make bench: refusing to record at GOMAXPROCS=$$gmp (< 2)."; \
+		echo "Parallel benchmarks on one scheduler thread measure nothing;"; \
+		echo "set GOMAXPROCS>=2 explicitly to record anyway (the per-entry"; \
+		echo "gomaxprocs/cpus metrics will show the real shape)."; \
+		exit 1; \
+	fi
+	DTDINFER_BENCH_MB=$(BENCH_MB) $(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_COUNT) -timeout 60m . \
+		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # bench-smoke is the CI gate: every benchmark must run once without
 # failing; the decoder benchmark covers both the fast and the std path.

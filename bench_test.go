@@ -12,7 +12,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
+	"sync"
 	"testing"
 
 	"dtdinfer/internal/automata"
@@ -198,9 +201,9 @@ func benchCorpus(b *testing.B, n, workers int) {
 	// only pays off once the corpus outweighs the goroutine/merge overhead
 	// and GOMAXPROCS actually offers cores, so regressions in par* vs seq
 	// are uninterpretable without both numbers.
-	b.ReportMetric(float64(n), "corpus-docs")
+	b.ReportMetric(float64(benchDocCount(n)), "corpus-docs")
 	b.ReportMetric(float64(docBytes), "corpus-bytes")
-	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	reportCPUShape(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := InferDTD(docs(), IDTD, opts); err != nil {
@@ -216,7 +219,7 @@ func BenchmarkIngestParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			b.ReportMetric(float64(docBytes), "corpus-bytes")
-			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			reportCPUShape(b)
 			for i := 0; i < b.N; i++ {
 				x := NewExtraction()
 				if _, err := x.AddDocumentsParallel(docs(), workers, nil, dtd.FailFast); err != nil {
@@ -246,14 +249,66 @@ func BenchmarkIngestDecoder(b *testing.B) {
 	}
 }
 
+// reportCPUShape records the CPU context a parallel benchmark ran under.
+// A recorded gomaxprocs of 1, or cpus of 1 with an oversubscribed
+// gomaxprocs, means the run never exercised real parallelism — BENCH_PR5
+// hid a parallel-ingestion regression exactly this way, so the shape is
+// now part of every recorded entry.
+func reportCPUShape(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
+
+// benchCorpusMB is the DTDINFER_BENCH_MB override: when set (as `make
+// bench` does), the ingestion benchmarks run over a generated corpus of at
+// least that many megabytes instead of the small default, so parallel
+// worker counts are measured against a workload big enough to amortize
+// fan-out. The corpus is generated once and shared across benchmarks.
+var (
+	benchBigOnce  sync.Once
+	benchBigDocs  []string
+	benchBigBytes int64
+)
+
+func benchBigCorpus() ([]string, int64) {
+	benchBigOnce.Do(func() {
+		mb, err := strconv.Atoi(os.Getenv("DTDINFER_BENCH_MB"))
+		if err != nil || mb <= 0 {
+			return
+		}
+		want := int64(mb) * 1_000_000
+		// Generate in slabs until the size target is met; seeds advance so
+		// slabs differ, and the loop is deterministic for a given target.
+		for seed := int64(1); benchBigBytes < want; seed++ {
+			slab := corpus.Protein(seed, 5000)
+			for _, d := range slab {
+				benchBigBytes += int64(len(d))
+			}
+			benchBigDocs = append(benchBigDocs, slab...)
+		}
+	})
+	return benchBigDocs, benchBigBytes
+}
+
+// benchDocCount reports how many documents corpusDocs(n) actually serves.
+func benchDocCount(n int) int {
+	if docs, _ := benchBigCorpus(); docs != nil {
+		return len(docs)
+	}
+	return n
+}
+
 // corpusDocs returns a factory of fresh readers over a generated Protein
 // corpus (readers are consumed by each inference run) plus the corpus
-// byte size.
+// byte size. n documents are generated unless DTDINFER_BENCH_MB demands a
+// bigger corpus.
 func corpusDocs(n int) (func() []io.Reader, int64) {
-	docs := corpus.Protein(1, n)
-	var bytes int64
-	for _, d := range docs {
-		bytes += int64(len(d))
+	docs, bytes := benchBigCorpus()
+	if docs == nil {
+		docs = corpus.Protein(1, n)
+		for _, d := range docs {
+			bytes += int64(len(d))
+		}
 	}
 	return func() []io.Reader { return corpus.Documents(docs) }, bytes
 }

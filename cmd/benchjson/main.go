@@ -14,17 +14,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. GOMAXPROCS (from the -N suffix the
+// testing package appends to every benchmark name) and the machine's CPU
+// count are recorded per entry so a run that never exercised real cores —
+// gomaxprocs 1, or cpus 1 under an oversubscribed GOMAXPROCS — is visible
+// in the recorded data instead of hiding a parallel regression.
 type Result struct {
 	Name        string             `json:"name"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_op"`
 	BytesPerOp  int64              `json:"b_op,omitempty"`
 	AllocsPerOp int64              `json:"allocs_op,omitempty"`
+	Gomaxprocs  int                `json:"gomaxprocs,omitempty"`
+	CPUs        int                `json:"cpus,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -65,13 +72,15 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	name := fields[0]
-	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	r := Result{Name: name, Iterations: iters, CPUs: runtime.NumCPU()}
+	// Record the -GOMAXPROCS suffix, then strip it so names are stable
+	// across machines.
 	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			r.Gomaxprocs = n
+			r.Name = name[:i]
 		}
 	}
-	r := Result{Name: name, Iterations: iters}
 	seen := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)

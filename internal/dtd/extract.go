@@ -32,6 +32,12 @@ type Extraction struct {
 	// TextSamples keeps up to maxTextSamples trimmed text values per
 	// element, for datatype detection when emitting XML Schema.
 	TextSamples map[string][]string
+	// TextOverflow marks elements whose TextSamples were truncated at the
+	// cap: the kept samples are a prefix of the observed text values, not
+	// the complete set. It mirrors the attribute statistics' overflow flag
+	// so downstream datatype detection can distinguish "saw exactly these
+	// values" from "saw at least these".
+	TextOverflow map[string]bool
 	// Attributes accumulates per-element attribute statistics for
 	// <!ATTLIST> inference.
 	Attributes map[string]map[string]*attStats
@@ -46,11 +52,12 @@ const maxTextSamples = 100
 // NewExtraction returns an empty accumulator.
 func NewExtraction() *Extraction {
 	return &Extraction{
-		Sequences:   map[string]*sample.Set{},
-		HasText:     map[string]bool{},
-		TextSamples: map[string][]string{},
-		Attributes:  map[string]map[string]*attStats{},
-		Roots:       map[string]int{},
+		Sequences:    map[string]*sample.Set{},
+		HasText:      map[string]bool{},
+		TextSamples:  map[string][]string{},
+		TextOverflow: map[string]bool{},
+		Attributes:   map[string]map[string]*attStats{},
+		Roots:        map[string]int{},
 	}
 }
 
@@ -172,6 +179,8 @@ func (x *Extraction) extractOne(ctx context.Context, r io.Reader, opts *IngestOp
 				x.HasText[name] = true
 				if len(x.TextSamples[name]) < maxTextSamples {
 					x.TextSamples[name] = append(x.TextSamples[name], trimmed)
+				} else {
+					x.TextOverflow[name] = true
 				}
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"dtdinfer/internal/intern"
+	"dtdinfer/internal/sample"
 	"dtdinfer/internal/xmltok"
 )
 
@@ -101,19 +102,31 @@ type elemStage struct {
 	arena []int32
 	ends  []int
 	// hasText marks non-whitespace character data; texts stages up to
-	// textCap trimmed samples (the target's remaining sample space, so a
-	// full target costs no string materialization at all).
-	hasText bool
-	texts   []string
-	textCap int
+	// textCap trimmed samples (the commit destination's remaining sample
+	// space, so a full destination costs no string materialization at
+	// all). textOverflow records that at least one sample was dropped at
+	// the cap, so the kept set is incomplete.
+	hasText      bool
+	texts        []string
+	textCap      int
+	textOverflow bool
 	// atts stages attribute statistics; attsTouched lists the ones active
 	// this document in first-touch order.
 	atts        map[string]*attStage
 	attsTouched []*attStage
-	// remap caches worker-local symbol ID -> target sample.Set ID for
-	// this element's set, valid for the current target (remapEpoch).
-	remap      map[int32]int32
-	remapEpoch int64
+}
+
+// elemTarget caches one element's commit destination: the target
+// extraction's sample.Set for the element plus the worker-local-ID ->
+// set-ID remap. Both are valid for the fastIngester's current target
+// (epoch); the remap persists for as long as the target does, so a
+// worker committing many shards into one corpus resolves each distinct
+// child symbol's string exactly once and every later occurrence is a
+// slice index.
+type elemTarget struct {
+	epoch int64
+	set   *sample.Set
+	remap intern.Remap
 }
 
 // fastIngester drives xmltok over documents and stages observations in a
@@ -150,8 +163,16 @@ type fastIngester struct {
 
 	idBuf []int32 // commit scratch: one sequence in target-set IDs
 
+	// targets caches per-element commit destinations for the current
+	// target extraction, indexed by worker-local symbol ID.
+	targets     []elemTarget
 	target      *Extraction
 	targetEpoch int64
+
+	// shard, when non-nil, redirects successful documents' commits into a
+	// worker-owned shard stage (still keyed by this ingester's symbol
+	// space) instead of an Extraction; see commitToShard.
+	shard *fastShard
 }
 
 func newFastIngester() *fastIngester {
@@ -166,7 +187,7 @@ func (f *fastIngester) ingestOne(ctx context.Context, r io.Reader, opts *IngestO
 	if opts != nil {
 		o = *opts
 	}
-	if target != f.target {
+	if f.shard == nil && target != f.target {
 		f.target = target
 		f.targetEpoch++
 	}
@@ -221,7 +242,11 @@ func (f *fastIngester) ingestOne(ctx context.Context, r io.Reader, opts *IngestO
 		// the encoding/xml path has.
 		return stats, fmt.Errorf("dtd: unbalanced XML document")
 	}
-	f.commit(target)
+	if f.shard != nil {
+		f.commitToShard(f.shard)
+	} else {
+		f.commit(target)
+	}
 	return stats, nil
 }
 
@@ -253,6 +278,7 @@ func (f *fastIngester) stage(w int32) *elemStage {
 		st.hasText = false
 		st.texts = st.texts[:0]
 		st.textCap = -1
+		st.textOverflow = false
 		st.attsTouched = st.attsTouched[:0]
 		f.touched = append(f.touched, w)
 	}
@@ -404,46 +430,62 @@ func (f *fastIngester) charData(text []byte) {
 	st := f.stage(w)
 	st.hasText = true
 	if st.textCap < 0 {
-		st.textCap = maxTextSamples - len(f.target.TextSamples[f.names.Name(int(w))])
+		if f.shard != nil {
+			st.textCap = maxTextSamples - f.shard.textLen(w)
+		} else {
+			st.textCap = maxTextSamples - len(f.target.TextSamples[f.names.Name(int(w))])
+		}
 		if st.textCap < 0 {
 			st.textCap = 0
 		}
 	}
 	if len(st.texts) < st.textCap {
 		st.texts = append(st.texts, string(trimmed))
+	} else {
+		st.textOverflow = true
 	}
+}
+
+// targetFor returns the cached commit destination for element w against
+// target, resolving the sample.Set (one string-keyed map lookup) and
+// resetting the ID remap only when the target changed since the cache
+// was last valid.
+func (f *fastIngester) targetFor(w int32, target *Extraction) *elemTarget {
+	for len(f.targets) <= int(w) {
+		f.targets = append(f.targets, elemTarget{epoch: -1})
+	}
+	t := &f.targets[w]
+	if t.epoch != f.targetEpoch || t.set == nil {
+		t.epoch = f.targetEpoch
+		t.set = target.sampleOf(f.names.Name(int(w)))
+		t.remap.Reset()
+	}
+	return t
 }
 
 // commit folds one successfully decoded document's staged observations
 // into the target, translating worker-local symbol IDs into each
-// element's sample.Set space via a cached remap — symbols intern in
-// observation order, so the resulting sets are byte-identical to the
-// stdIngester commit.
+// element's sample.Set space via the cached per-element remap — symbols
+// intern in observation order, so the resulting sets are byte-identical
+// to the stdIngester commit.
 func (f *fastIngester) commit(target *Extraction) {
 	for _, w := range f.touched {
 		st := f.elems[w]
 		name := f.names.Name(int(w))
 		if len(st.ends) > 0 {
-			set := target.sampleOf(name)
-			if st.remap == nil {
-				st.remap = map[int32]int32{}
-				st.remapEpoch = f.targetEpoch
-			} else if st.remapEpoch != f.targetEpoch {
-				clear(st.remap)
-				st.remapEpoch = f.targetEpoch
-			}
+			tgt := f.targetFor(w, target)
 			start := 0
 			for _, end := range st.ends {
 				f.idBuf = f.idBuf[:0]
 				for _, cw := range st.arena[start:end] {
-					id, ok := st.remap[cw]
-					if !ok {
-						id = int32(set.Intern(f.names.Name(int(cw))))
-						st.remap[cw] = id
+					id := tgt.remap.Get(cw)
+					if id < 0 {
+						id = int32(tgt.set.Intern(f.names.Name(int(cw))))
+						tgt.remap.Set(cw, id)
 					}
 					f.idBuf = append(f.idBuf, id)
 				}
-				set.AddIDs(f.idBuf, 1)
+				tgt.set.AddIDs(f.idBuf, 1)
 				start = end
 			}
 		}
@@ -452,6 +494,9 @@ func (f *fastIngester) commit(target *Extraction) {
 		}
 		if len(st.texts) > 0 {
 			target.TextSamples[name] = append(target.TextSamples[name], st.texts...)
+		}
+		if st.textOverflow {
+			target.TextOverflow[name] = true
 		}
 		for _, a := range st.attsTouched {
 			f.commitAttr(target, name, a)
@@ -487,4 +532,191 @@ func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) 
 		}
 		st.values[vc.v] += vc.n
 	}
+}
+
+// shardElem is one element's observations accumulated across a shard's
+// accepted documents, still keyed by the staging worker's symbol space:
+// the children sequences as a counted multiset of worker-local IDs, plus
+// the text, attribute and root observations. Nothing here holds a target
+// ID or an element-name string beyond attribute names and text values.
+type shardElem struct {
+	ms sample.Multiset
+	// hasText/texts/textOverflow accumulate like elemStage's fields, under
+	// the same per-element cap the final extraction enforces.
+	hasText      bool
+	texts        []string
+	textOverflow bool
+	// roots counts how often the element was a document root.
+	roots int
+	// atts accumulates attribute statistics in first-seen order (attList),
+	// so the final commit folds values deterministically even at the
+	// distinct-value cap.
+	atts    map[string]*attStage
+	attList []*attStage
+}
+
+// fastShard stages one shard's worth of accepted documents entirely in
+// the owning worker's symbol space: per-element counted ID multisets plus
+// the scalar observations. A parallel worker fills it with commitToShard
+// (per accepted document, keeping failure atomicity), and the coordinator
+// folds completed shards into the corpus extraction in shard order with
+// commitShard — the only place worker-local IDs are translated, via
+// per-worker cached remaps.
+type fastShard struct {
+	// perElem is indexed by the owning worker's symbol ID; touched lists
+	// the populated slots in first-touch order across the shard's
+	// documents, which is exactly the order sequential ingestion would
+	// first observe them.
+	perElem   []*shardElem
+	touched   []int32
+	documents int
+}
+
+// slot returns the shard stage for element w, creating it (and recording
+// the first touch) on demand.
+func (sh *fastShard) slot(w int32) *shardElem {
+	for len(sh.perElem) <= int(w) {
+		sh.perElem = append(sh.perElem, nil)
+	}
+	se := sh.perElem[w]
+	if se == nil {
+		se = &shardElem{}
+		sh.perElem[w] = se
+		sh.touched = append(sh.touched, w)
+	}
+	return se
+}
+
+// textLen returns how many text samples the shard has staged for w.
+func (sh *fastShard) textLen(w int32) int {
+	if int(w) < len(sh.perElem) && sh.perElem[w] != nil {
+		return len(sh.perElem[w].texts)
+	}
+	return 0
+}
+
+// beginShard switches the ingester into shard-staging mode: successful
+// documents fold into sh instead of committing into an Extraction.
+func (f *fastIngester) beginShard(sh *fastShard) { f.shard = sh }
+
+// endShard leaves shard-staging mode.
+func (f *fastIngester) endShard() { f.shard = nil }
+
+// commitToShard folds one successfully decoded document's staged
+// observations into the worker's shard stage. Everything is already in
+// the worker's symbol space, so this is pure ID and counter work — no
+// strings, no target maps — and a rejected document never reaches it.
+func (f *fastIngester) commitToShard(sh *fastShard) {
+	for _, w := range f.touched {
+		st := f.elems[w]
+		se := sh.slot(w)
+		if len(st.ends) > 0 {
+			start := 0
+			for _, end := range st.ends {
+				se.ms.AddIDs(st.arena[start:end], 1)
+				start = end
+			}
+		}
+		if st.hasText {
+			se.hasText = true
+		}
+		if st.textOverflow {
+			se.textOverflow = true
+		}
+		for _, t := range st.texts {
+			if len(se.texts) >= maxTextSamples {
+				se.textOverflow = true
+				break
+			}
+			se.texts = append(se.texts, t)
+		}
+		for _, a := range st.attsTouched {
+			se.foldAttr(a)
+		}
+	}
+	for _, w := range f.rootBuf {
+		sh.slot(w).roots++
+	}
+	sh.documents++
+}
+
+// foldAttr accumulates one document's staged attribute statistic into the
+// shard stage, preserving first-seen value order so the corpus commit is
+// deterministic even when the distinct-value cap truncates.
+func (se *shardElem) foldAttr(a *attStage) {
+	if se.atts == nil {
+		se.atts = map[string]*attStage{}
+	}
+	d := se.atts[a.name]
+	if d == nil {
+		d = &attStage{name: a.name, idx: map[string]int{}}
+		se.atts[a.name] = d
+		se.attList = append(se.attList, d)
+	}
+	d.present += a.present
+	if a.overflow {
+		d.overflow = true
+	}
+	for _, vc := range a.vals {
+		if slot, ok := d.idx[vc.v]; ok {
+			d.vals[slot].n += vc.n
+			continue
+		}
+		if len(d.vals) >= maxAttValues {
+			d.overflow = true
+			continue
+		}
+		d.idx[vc.v] = len(d.vals)
+		d.vals = append(d.vals, valCount{v: vc.v, n: vc.n})
+	}
+}
+
+// commitShard folds a completed shard stage into the corpus extraction.
+// It must be called single-threaded, in shard order, by the ingester that
+// staged the shard (the IDs are in its symbol space). Per-element child
+// sequences merge as counted multisets through the worker's cached
+// remaps — cost proportional to the shard's unique sequences, with each
+// distinct (worker, element, symbol) resolving its string exactly once
+// per corpus — and the scalar observations fold under the same caps and
+// flags as sequential ingestion. Walking touched in shard first-touch
+// order makes every corpus-level first sight happen in sequential
+// document order, which is what keeps the merged extraction byte-
+// identical to sequential ingestion.
+func (f *fastIngester) commitShard(sh *fastShard, target *Extraction) {
+	if target != f.target {
+		f.target = target
+		f.targetEpoch++
+	}
+	for _, w := range sh.touched {
+		se := sh.perElem[w]
+		name := f.names.Name(int(w))
+		if se.ms.Unique() > 0 {
+			tgt := f.targetFor(w, target)
+			tgt.set.MergeMultiset(&se.ms, f.names, &tgt.remap)
+		}
+		if se.hasText {
+			target.HasText[name] = true
+		}
+		if len(se.texts) > 0 {
+			have := target.TextSamples[name]
+			for _, t := range se.texts {
+				if len(have) >= maxTextSamples {
+					target.TextOverflow[name] = true
+					break
+				}
+				have = append(have, t)
+			}
+			target.TextSamples[name] = have
+		}
+		if se.textOverflow {
+			target.TextOverflow[name] = true
+		}
+		for _, a := range se.attList {
+			f.commitAttr(target, name, a)
+		}
+		if se.roots > 0 {
+			target.Roots[name] += se.roots
+		}
+	}
+	target.Documents += sh.documents
 }

@@ -179,8 +179,26 @@ type IngestReport struct {
 	Tokens int64
 	// Elements counts start-element tokens in accepted documents.
 	Elements int64
+	// TextOverflows counts elements whose text samples were truncated at
+	// the per-element cap — entries in Extraction.TextOverflow after the
+	// batch, mirroring the attribute statistics' overflow flag.
+	TextOverflows int
 	// Errors lists one entry per rejected document.
 	Errors []*DocumentError
+}
+
+// add accumulates another report's counters and errors into r, used when
+// concatenating per-shard reports in shard order. TextOverflows is not
+// additive (it is a property of the merged extraction, not of a shard)
+// and is set by the batch APIs after commit.
+func (r *IngestReport) add(o *IngestReport) {
+	r.Documents += o.Documents
+	r.Accepted += o.Accepted
+	r.Rejected += o.Rejected
+	r.Bytes += o.Bytes
+	r.Tokens += o.Tokens
+	r.Elements += o.Elements
+	r.Errors = append(r.Errors, o.Errors...)
 }
 
 // Err returns the first per-document error (nil when all were accepted).
@@ -196,6 +214,9 @@ func (r *IngestReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ingested %d/%d documents (%d rejected), %d bytes, %d tokens, %d elements",
 		r.Accepted, r.Documents, r.Rejected, r.Bytes, r.Tokens, r.Elements)
+	if r.TextOverflows > 0 {
+		fmt.Fprintf(&b, ", %d elements with truncated text samples", r.TextOverflows)
+	}
 	for _, e := range r.Errors {
 		fmt.Fprintf(&b, "\n  %v", e)
 	}
@@ -234,6 +255,7 @@ func (x *Extraction) AddDocuments(docs []io.Reader, opts *IngestOptions, policy 
 func (x *Extraction) AddDocs(docs []Doc, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
 	report := &IngestReport{}
 	derr, _ := ingestDocs(context.Background(), x, docs, 0, opts, policy, report)
+	report.TextOverflows = len(x.TextOverflow)
 	if derr != nil {
 		return report, derr
 	}
@@ -275,6 +297,7 @@ func (x *Extraction) AddDocsContext(ctx context.Context, docs []Doc, opts *Inges
 	if target != x {
 		x.Merge(target)
 	}
+	report.TextOverflows = len(x.TextOverflow)
 	if derr != nil {
 		return report, derr
 	}
@@ -334,6 +357,7 @@ func (x *Extraction) reset() {
 	clear(x.Sequences)
 	clear(x.HasText)
 	clear(x.TextSamples)
+	clear(x.TextOverflow)
 	clear(x.Attributes)
 	clear(x.Roots)
 	x.Documents = 0
@@ -343,7 +367,10 @@ func (x *Extraction) reset() {
 // per-element text-sample and attribute-value caps. Merging staged
 // per-document extractions is exactly how AddDocument commits, so
 // Merge(a); Merge(b) is equivalent to ingesting a's and b's documents
-// directly.
+// directly. Sequence samples merge at the interned-ID level (see
+// sample.Set.Merge): cost is proportional to o's *unique* sequences, and
+// element-name strings are only touched on the first corpus-wide sight of
+// a symbol.
 func (x *Extraction) Merge(o *Extraction) {
 	for name, seqs := range o.Sequences {
 		x.sampleOf(name).Merge(seqs)
@@ -357,11 +384,20 @@ func (x *Extraction) Merge(o *Extraction) {
 		have := x.TextSamples[name]
 		for _, s := range samples {
 			if len(have) >= maxTextSamples {
+				// Samples beyond the cap are dropped, so the kept set is no
+				// longer the complete observation — record that, exactly
+				// like the per-document path does when it truncates.
+				x.TextOverflow[name] = true
 				break
 			}
 			have = append(have, s)
 		}
 		x.TextSamples[name] = have
+	}
+	for name, of := range o.TextOverflow {
+		if of {
+			x.TextOverflow[name] = true
+		}
 	}
 	for elem, atts := range o.Attributes {
 		for att, st := range atts {

@@ -49,6 +49,14 @@ func snapshot(x *Extraction) string {
 		fmt.Fprintf(&b, "samples %s=%q\n", n, x.TextSamples[n])
 	}
 	names = names[:0]
+	for n := range x.TextOverflow {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "textoverflow %s=%v\n", n, x.TextOverflow[n])
+	}
+	names = names[:0]
 	for n := range x.Attributes {
 		names = append(names, n)
 	}

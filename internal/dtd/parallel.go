@@ -12,10 +12,17 @@ import (
 
 // Parallel sharded ingestion. The corpus is split into contiguous shards;
 // each worker claims shards off a shared queue and stages their documents
-// into a private Extraction using the same per-document fault-isolation
-// loop as the sequential path, under the same IngestOptions caps. Once all
-// workers finish, the shard extractions are committed into x with Merge in
-// shard order.
+// using the same per-document fault-isolation loop as the sequential
+// path, under the same IngestOptions caps. On the fast decoder a shard is
+// staged entirely in the worker's private symbol space (fastShard):
+// counted ID multisets per element, zero synchronization, no string
+// interning beyond the worker's own table. Once all workers finish, the
+// coordinator commits shards in shard order — the single place worker
+// IDs are translated into the corpus extraction, through per-worker
+// cached remaps (intern.Remap), so each distinct symbol's string is
+// touched once per worker and everything else is slice indexing. The std
+// decoder keeps its per-shard staging Extraction, committed with the
+// ID-level Merge.
 //
 // Because every observation the extraction accumulates is a commutative
 // set/counter union (2T-INF edge sets, occurrence counters, root tallies)
@@ -59,9 +66,11 @@ func sizeHint(r io.Reader) int64 {
 // idle. Documents without a size hint weigh the average of the known
 // sizes; when nothing is knowable the split degrades to equal counts.
 // Every shard gets at least one document (callers cap
-// shardCount <= len(docs)), and any contiguous partition preserves the
-// parallel-equals-sequential guarantee, so bounds only affect load
-// balance.
+// shardCount <= len(docs)): the weight loop only places the cuts, and the
+// normalization passes below make the at-least-one guarantee structural
+// rather than a property of where the weights happen to fall. Any
+// contiguous partition preserves the parallel-equals-sequential
+// guarantee, so bounds only affect load balance.
 func shardBounds(docs []Doc, shardCount int) []int {
 	bounds := make([]int, shardCount+1)
 	sizes := make([]int64, len(docs))
@@ -98,16 +107,30 @@ func shardBounds(docs []Doc, shardCount int) []int {
 	var cum int64
 	for i := 0; i < len(docs) && s < shardCount; i++ {
 		cum += sizes[i]
-		// Cut when the running weight reaches this shard's byte target, or
-		// when the remaining documents are only just enough to give each
-		// remaining shard one.
-		if cum*int64(shardCount) >= total*int64(s) || len(docs)-(i+1) == shardCount-s {
+		if cum*int64(shardCount) >= total*int64(s) {
 			bounds[s] = i + 1
 			s++
 		}
 	}
 	for ; s <= shardCount; s++ {
 		bounds[s] = len(docs)
+	}
+	// Normalize: a forward pass reserves at least one document for every
+	// shard before a cut, a backward pass reserves one for every shard
+	// after it. On any weight distribution that already yields non-empty
+	// shards both passes are no-ops; on degenerate ones (all weight in the
+	// first or last documents) they shift cuts minimally. After the two
+	// passes s <= bounds[s] <= bounds[s+1]-1 holds for every interior cut,
+	// so bounds is strictly increasing and no shard is empty.
+	for s := 1; s < shardCount; s++ {
+		if bounds[s] < s {
+			bounds[s] = s
+		}
+	}
+	for s := shardCount - 1; s >= 1; s-- {
+		if bounds[s] > bounds[s+1]-1 {
+			bounds[s] = bounds[s+1] - 1
+		}
 	}
 	return bounds
 }
@@ -162,7 +185,16 @@ func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, wor
 	}
 	bounds := shardBounds(docs, shardCount)
 	type shardResult struct {
+		// claimed marks shards a worker actually ran; unclaimed shards
+		// were skipped because an earlier shard failed under FailFast (or
+		// the batch was cancelled first).
+		claimed bool
+		// Exactly one of x (std decoder: per-shard staging extraction) and
+		// shard (fast decoder: ID-space shard stage, committed by fi) is
+		// set on a claimed shard.
 		x      *Extraction
+		shard  *fastShard
+		fi     *fastIngester
 		report IngestReport
 		err    *DocumentError
 	}
@@ -176,9 +208,11 @@ func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, wor
 			defer wg.Done()
 			// One ingester per worker: its decoder, staging buffers and
 			// worker-local symbol table are reused across every shard the
-			// worker claims, so per-shard cost is a fresh target
-			// extraction, not a fresh decode pipeline.
+			// worker claims, so per-shard cost is a fresh shard stage, not
+			// a fresh decode pipeline — and on the fast path the worker's
+			// symbol table and commit remaps span all of its shards.
 			ing := newIngester(opts)
+			fi, fast := ing.(*fastIngester)
 			for {
 				if ctx.Err() != nil {
 					return
@@ -193,8 +227,17 @@ func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, wor
 					continue
 				}
 				s := &shards[si]
-				s.x = NewExtraction()
-				s.err, _ = runIngest(ing, ctx, s.x, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
+				s.claimed = true
+				if fast {
+					s.shard = &fastShard{}
+					s.fi = fi
+					fi.beginShard(s.shard)
+					s.err, _ = runIngest(ing, ctx, nil, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
+					fi.endShard()
+				} else {
+					s.x = NewExtraction()
+					s.err, _ = runIngest(ing, ctx, s.x, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
+				}
 				if s.err != nil && policy == FailFast {
 					for {
 						cur := atomic.LoadInt64(&failedShard)
@@ -213,37 +256,31 @@ func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, wor
 		// CLI surfaces as "cancelled after N documents".
 		report := &IngestReport{}
 		for si := range shards {
-			s := &shards[si]
-			if s.x == nil {
-				continue
+			if shards[si].claimed {
+				report.add(&shards[si].report)
 			}
-			report.Documents += s.report.Documents
-			report.Accepted += s.report.Accepted
-			report.Rejected += s.report.Rejected
-			report.Bytes += s.report.Bytes
-			report.Tokens += s.report.Tokens
-			report.Elements += s.report.Elements
-			report.Errors = append(report.Errors, s.report.Errors...)
 		}
 		return report, err
 	}
 	report := &IngestReport{}
 	for si := range shards {
 		s := &shards[si]
-		if s.x == nil {
+		if !s.claimed {
 			continue // skipped: an earlier shard failed first under FailFast
 		}
-		report.Documents += s.report.Documents
-		report.Accepted += s.report.Accepted
-		report.Rejected += s.report.Rejected
-		report.Bytes += s.report.Bytes
-		report.Tokens += s.report.Tokens
-		report.Elements += s.report.Elements
-		report.Errors = append(report.Errors, s.report.Errors...)
-		x.Merge(s.x)
+		report.add(&s.report)
+		if s.shard != nil {
+			// Single-threaded, in shard order, on the staging worker's
+			// ingester: the only place worker-local IDs meet the corpus.
+			s.fi.commitShard(s.shard, x)
+		} else {
+			x.Merge(s.x)
+		}
 		if s.err != nil && policy == FailFast {
+			report.TextOverflows = len(x.TextOverflow)
 			return report, s.err
 		}
 	}
+	report.TextOverflows = len(x.TextOverflow)
 	return report, nil
 }

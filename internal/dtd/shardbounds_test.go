@@ -1,0 +1,119 @@
+package dtd
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// opaqueReader hides the underlying reader's Len, so sizeHint returns -1.
+type opaqueReader struct{ r io.Reader }
+
+func (o opaqueReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// sizedReader claims a byte length without holding the bytes, so tests
+// can hand shardBounds multi-gigabyte size hints for free. It is never
+// actually read.
+type sizedReader struct{ n int }
+
+func (s sizedReader) Len() int                   { return s.n }
+func (s sizedReader) Read(p []byte) (int, error) { return 0, io.EOF }
+
+// sizedDocs builds one Doc per entry; size >= 0 yields a reader claiming
+// exactly that many bytes (sizeHint knows it), size < 0 yields a reader
+// without a size hint.
+func sizedDocs(sizes []int64) []Doc {
+	docs := make([]Doc, len(sizes))
+	for i, n := range sizes {
+		var r io.Reader
+		if n >= 0 {
+			r = sizedReader{n: int(n)}
+		} else {
+			r = opaqueReader{strings.NewReader("<a/>")}
+		}
+		docs[i] = Doc{Label: fmt.Sprintf("doc-%d", i), R: r}
+	}
+	return docs
+}
+
+// checkBounds asserts the structural shardBounds contract: a monotone
+// partition of [0, len(docs)) into shardCount contiguous, non-empty
+// shards.
+func checkBounds(t *testing.T, bounds []int, nDocs, shardCount int) {
+	t.Helper()
+	if len(bounds) != shardCount+1 {
+		t.Fatalf("len(bounds) = %d, want %d", len(bounds), shardCount+1)
+	}
+	if bounds[0] != 0 || bounds[shardCount] != nDocs {
+		t.Fatalf("bounds = %v, want first 0 and last %d", bounds, nDocs)
+	}
+	for s := 0; s < shardCount; s++ {
+		if bounds[s+1] <= bounds[s] {
+			t.Fatalf("shard %d empty or inverted: bounds = %v", s, bounds)
+		}
+	}
+}
+
+// TestShardBoundsSkewedDistributions pins the every-shard-non-empty
+// guarantee structurally, across adversarially skewed size
+// distributions — all the weight up front, all at the back, giant
+// singletons, zeros, unknown sizes and power-law mixes. Any of these
+// could tempt the byte-weight cut to exhaust the document list before
+// every shard got one.
+func TestShardBoundsSkewedDistributions(t *testing.T) {
+	cases := map[string][]int64{
+		"front-loaded":       {1 << 30, 1, 1, 1, 1, 1, 1, 1},
+		"back-loaded":        {1, 1, 1, 1, 1, 1, 1, 1 << 30},
+		"giant-middle":       {1, 1, 1, 1 << 30, 1, 1, 1},
+		"two-giants-front":   {1 << 30, 1 << 30, 1, 1, 1, 1},
+		"all-equal":          {7, 7, 7, 7, 7, 7, 7, 7, 7},
+		"all-zero":           {0, 0, 0, 0, 0, 0},
+		"all-unknown":        {-1, -1, -1, -1, -1, -1, -1},
+		"unknown-then-giant": {-1, -1, -1, 1 << 30, -1, -1},
+		"alternating":        {1 << 20, 1, 1 << 20, 1, 1 << 20, 1, 1 << 20, 1},
+	}
+	rng := rand.New(rand.NewSource(42))
+	powerLaw := make([]int64, 64)
+	for i := range powerLaw {
+		powerLaw[i] = int64(1) << uint(rng.Intn(24))
+		if rng.Intn(5) == 0 {
+			powerLaw[i] = -1
+		}
+	}
+	cases["power-law"] = powerLaw
+	for name, sizes := range cases {
+		t.Run(name, func(t *testing.T) {
+			for shardCount := 1; shardCount <= len(sizes); shardCount++ {
+				bounds := shardBounds(sizedDocs(sizes), shardCount)
+				checkBounds(t, bounds, len(sizes), shardCount)
+			}
+		})
+	}
+}
+
+// TestShardBoundsRandomized fuzzes the contract over random mixes of
+// sizes (including unknowns and zeros) and every legal shard count.
+func TestShardBoundsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(40)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			switch rng.Intn(4) {
+			case 0:
+				sizes[i] = -1
+			case 1:
+				sizes[i] = 0
+			case 2:
+				sizes[i] = int64(rng.Intn(100))
+			default:
+				sizes[i] = int64(1) << uint(rng.Intn(30))
+			}
+		}
+		shardCount := 1 + rng.Intn(n)
+		bounds := shardBounds(sizedDocs(sizes), shardCount)
+		checkBounds(t, bounds, n, shardCount)
+	}
+}

@@ -53,6 +53,12 @@ func (t *Table) Lookup(s string) (int, bool) {
 	return id, ok
 }
 
+// Reset empties the table for reuse, keeping the allocated map and slice.
+func (t *Table) Reset() {
+	clear(t.ids)
+	t.names = t.names[:0]
+}
+
 // Name returns the string interned at id. It panics on an unassigned id.
 func (t *Table) Name(id int) string { return t.names[id] }
 
@@ -69,6 +75,45 @@ func (t *Table) Clone() *Table {
 		c.ids[s] = id
 	}
 	return c
+}
+
+// Remap is a compact, growable translation from one dense ID space into
+// another: remapping corpus commits resolve a worker-local symbol ID to
+// its ID in a shared corpus-level table exactly once, then every later
+// occurrence is a slice index. The zero value is ready to use; unresolved
+// entries read as -1.
+//
+// This is the merge half of the two-table interning design: workers
+// intern into private Tables with no synchronization at all, and the
+// single-threaded commit walks staged shard state in deterministic order,
+// filling one Remap per (worker, target) pair. Strings are touched only
+// on the first sight of a name corpus-wide; every repeat — the
+// overwhelming majority on a real corpus — is remap[id].
+type Remap struct {
+	ids []int32
+}
+
+// Get returns the translation of old, or -1 when old is unresolved.
+func (r *Remap) Get(old int32) int32 {
+	if int(old) >= len(r.ids) {
+		return -1
+	}
+	return r.ids[old]
+}
+
+// Set records the translation of old, growing the table as needed.
+func (r *Remap) Set(old, new int32) {
+	for len(r.ids) <= int(old) {
+		r.ids = append(r.ids, -1)
+	}
+	r.ids[old] = new
+}
+
+// Reset forgets every translation, keeping the allocated storage.
+func (r *Remap) Reset() {
+	for i := range r.ids {
+		r.ids[i] = -1
+	}
 }
 
 // Bitset is a growable set of small non-negative integers.

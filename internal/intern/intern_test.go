@@ -100,3 +100,48 @@ func TestBitsetRandomizedAgainstMap(t *testing.T) {
 		}
 	}
 }
+
+func TestRemapZeroValueAndGrowth(t *testing.T) {
+	var r Remap
+	if got := r.Get(0); got != -1 {
+		t.Errorf("Get on zero Remap = %d, want -1", got)
+	}
+	if got := r.Get(1000); got != -1 {
+		t.Errorf("Get(1000) on zero Remap = %d, want -1", got)
+	}
+	r.Set(5, 42)
+	if got := r.Get(5); got != 42 {
+		t.Errorf("Get(5) = %d, want 42", got)
+	}
+	for _, old := range []int32{0, 1, 4, 6} {
+		if got := r.Get(old); got != -1 {
+			t.Errorf("Get(%d) = %d, want -1 (unresolved)", old, got)
+		}
+	}
+	r.Set(2, 7)
+	if got := r.Get(5); got != 42 {
+		t.Errorf("Get(5) after unrelated Set = %d, want 42", got)
+	}
+	r.Reset()
+	for _, old := range []int32{0, 2, 5, 100} {
+		if got := r.Get(old); got != -1 {
+			t.Errorf("Get(%d) after Reset = %d, want -1", old, got)
+		}
+	}
+}
+
+func TestTableResetKeepsStorageEmptiesContent(t *testing.T) {
+	tab := NewTable()
+	tab.Intern("a")
+	tab.Intern("b")
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", tab.Len())
+	}
+	if _, ok := tab.Lookup("a"); ok {
+		t.Error("Lookup(a) still resolves after Reset")
+	}
+	if id := tab.Intern("c"); id != 0 {
+		t.Errorf("first Intern after Reset = %d, want 0", id)
+	}
+}

@@ -17,13 +17,14 @@ import (
 	"dtdinfer/internal/intern"
 )
 
-// Set is a counted multiset of symbol sequences: an intern table over the
-// element names, the unique sequences in first-seen order, and a
-// multiplicity per unique sequence. The zero value is not usable; call New
-// or FromStrings. A Set is not safe for concurrent mutation; concurrent
-// reads are fine once building has finished.
-type Set struct {
-	tab *intern.Table
+// Multiset is the table-free core of a counted sample: unique ID
+// sequences in first-seen order with multiplicities, deduplicated through
+// an encoded-key index. It carries no symbol table of its own — IDs are
+// interpreted against whatever space the owner chose — which is what lets
+// a parallel ingestion worker stage shard observations entirely in its
+// private symbol space and lets the commit fold them into a Set with one
+// ID translation per unique sequence. The zero value is ready to use.
+type Multiset struct {
 	// seqs holds each distinct sequence once, as interned IDs, in the
 	// order first observed.
 	seqs [][]int32
@@ -37,9 +38,19 @@ type Set struct {
 	keyBuf []byte
 }
 
+// Set is a counted multiset of symbol sequences: an intern table over the
+// element names plus the counted Multiset of their sequences. The zero
+// value is not usable; call New or FromStrings. A Set is not safe for
+// concurrent mutation; concurrent reads are fine once building has
+// finished.
+type Set struct {
+	tab *intern.Table
+	Multiset
+}
+
 // New returns an empty Set.
 func New() *Set {
-	return &Set{tab: intern.NewTable(), index: map[string]int{}}
+	return &Set{tab: intern.NewTable(), Multiset: Multiset{index: map[string]int{}}}
 }
 
 // FromStrings builds a Set from a verbatim sample, interning symbols in
@@ -75,30 +86,21 @@ func (s *Set) AddCount(w []string, n int) {
 // symbol, then commit with AddIDs.
 func (s *Set) Intern(sym string) int { return s.tab.Intern(sym) }
 
-// AddIDs folds n occurrences of a sequence already expressed in s's own
-// ID space (every ID must come from Intern/Lookup). n <= 0 is a no-op.
-// The repeat path is allocation-free; the slice is copied on first sight,
-// so callers may reuse ids.
-func (s *Set) AddIDs(ids []int32, n int) {
+// AddIDs folds n occurrences of a sequence already expressed in the
+// multiset's ID space. n <= 0 is a no-op. The repeat path is
+// allocation-free; the slice is copied on first sight, so callers may
+// reuse ids.
+func (m *Multiset) AddIDs(ids []int32, n int) {
 	if n <= 0 {
 		return
 	}
 	for _, id := range ids {
-		s.keyBuf = appendID(s.keyBuf, id)
+		m.keyBuf = appendID(m.keyBuf, id)
 	}
 	// Passing nil lets bump decode a fresh copy from the key only when the
 	// sequence is new, so the caller keeps ownership of ids and the repeat
 	// path stays allocation-free.
-	s.bump(nil, n)
-}
-
-// addIDs folds n occurrences of a sequence already expressed in s's own ID
-// space (every ID must be interned). Used by Merge.
-func (s *Set) addIDs(ids []int32, n int) {
-	for _, id := range ids {
-		s.keyBuf = appendID(s.keyBuf, id)
-	}
-	s.bump(ids, n)
+	m.bump(nil, n)
 }
 
 // bump adds n to the sequence encoded in keyBuf, registering it as a new
@@ -106,19 +108,22 @@ func (s *Set) addIDs(ids []int32, n int) {
 // sequence (bump takes ownership), otherwise the IDs are decoded from the
 // key. keyBuf is left empty so two Sets holding the same multiset compare
 // equal under reflect.DeepEqual regardless of insertion history.
-func (s *Set) bump(ids []int32, n int) {
-	if i, ok := s.index[string(s.keyBuf)]; ok {
-		s.counts[i] += n
+func (m *Multiset) bump(ids []int32, n int) {
+	if m.index == nil {
+		m.index = map[string]int{}
+	}
+	if i, ok := m.index[string(m.keyBuf)]; ok {
+		m.counts[i] += n
 	} else {
 		if ids == nil {
-			ids = decodeKey(s.keyBuf)
+			ids = decodeKey(m.keyBuf)
 		}
-		s.index[string(s.keyBuf)] = len(s.seqs)
-		s.seqs = append(s.seqs, ids)
-		s.counts = append(s.counts, n)
+		m.index[string(m.keyBuf)] = len(m.seqs)
+		m.seqs = append(m.seqs, ids)
+		m.counts = append(m.counts, n)
 	}
-	s.total += n
-	s.keyBuf = s.keyBuf[:0]
+	m.total += n
+	m.keyBuf = m.keyBuf[:0]
 }
 
 func appendID(buf []byte, id int32) []byte {
@@ -134,25 +139,40 @@ func decodeKey(key []byte) []int32 {
 	return ids
 }
 
+// MergeMultiset folds a counted multiset expressed in a foreign symbol
+// space into s: each unique sequence is translated ID-by-ID through
+// remap, consulting names (the foreign space's table) only on the first
+// sight of a symbol, and folded in with its multiplicity. remap persists
+// across calls — a parallel worker's commit reuses one remap per element
+// across every shard it staged — and the repeat path allocates nothing.
+// Walking o's sequences in first-seen order makes the symbols intern into
+// s in first-occurrence order, so a sharded, committed-in-order ingestion
+// builds a Set byte-identical to sequential ingestion.
+func (s *Set) MergeMultiset(o *Multiset, names *intern.Table, remap *intern.Remap) {
+	for i, seq := range o.seqs {
+		for _, old := range seq {
+			id := remap.Get(old)
+			if id < 0 {
+				id = int32(s.tab.Intern(names.Name(int(old))))
+				remap.Set(old, id)
+			}
+			s.keyBuf = appendID(s.keyBuf, id)
+		}
+		s.bump(nil, o.counts[i])
+	}
+}
+
 // Merge folds another Set into s: multiplicities of shared sequences add,
 // new sequences append in o's first-seen order. Merge(a); Merge(b) is
 // equivalent to adding a's and b's expanded strings in order, so counted
-// shard commits stay byte-identical to sequential ingestion.
+// shard commits stay byte-identical to sequential ingestion. Symbols of o
+// that occur in no sequence are not carried over.
 func (s *Set) Merge(o *Set) {
 	if o == nil {
 		return
 	}
-	remap := make([]int32, o.tab.Len())
-	for oid := 0; oid < o.tab.Len(); oid++ {
-		remap[oid] = int32(s.tab.Intern(o.tab.Name(oid)))
-	}
-	for i, seq := range o.seqs {
-		ids := make([]int32, len(seq))
-		for j, oid := range seq {
-			ids[j] = remap[oid]
-		}
-		s.addIDs(ids, o.counts[i])
-	}
+	var remap intern.Remap
+	s.MergeMultiset(&o.Multiset, o.tab, &remap)
 }
 
 // Clone returns an independent deep copy.
@@ -164,10 +184,10 @@ func (s *Set) Clone() *Set {
 
 // Total returns the size of the expanded multiset (sequences counted with
 // multiplicity).
-func (s *Set) Total() int { return s.total }
+func (m *Multiset) Total() int { return m.total }
 
 // Unique returns the number of distinct sequences.
-func (s *Set) Unique() int { return len(s.seqs) }
+func (m *Multiset) Unique() int { return len(m.seqs) }
 
 // NumSymbols returns the size of the interned ID space; valid symbol IDs
 // are [0, NumSymbols).
@@ -192,17 +212,17 @@ func (s *Set) Symbols() []string {
 }
 
 // Seq returns the i-th unique sequence as interned IDs. The slice is
-// shared with the Set and must not be mutated.
-func (s *Set) Seq(i int) []int32 { return s.seqs[i] }
+// shared with the multiset and must not be mutated.
+func (m *Multiset) Seq(i int) []int32 { return m.seqs[i] }
 
 // Count returns the multiplicity of the i-th unique sequence.
-func (s *Set) Count(i int) int { return s.counts[i] }
+func (m *Multiset) Count(i int) int { return m.counts[i] }
 
 // ForEach calls f once per unique sequence, in first-seen order, with its
 // multiplicity. The seq slice is shared and must not be mutated.
-func (s *Set) ForEach(f func(seq []int32, count int)) {
-	for i, seq := range s.seqs {
-		f(seq, s.counts[i])
+func (m *Multiset) ForEach(f func(seq []int32, count int)) {
+	for i, seq := range m.seqs {
+		f(seq, m.counts[i])
 	}
 }
 

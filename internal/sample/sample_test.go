@@ -2,6 +2,8 @@ package sample
 
 import (
 	"reflect"
+
+	"dtdinfer/internal/intern"
 	"sort"
 	"strings"
 	"testing"
@@ -181,4 +183,44 @@ func FuzzRoundTrip(f *testing.F) {
 			t.Fatalf("NumSymbols = %d, want %d", s.NumSymbols(), len(seen))
 		}
 	})
+}
+
+// TestMergeMultisetRemapPersistsAcrossCalls pins the commit contract the
+// parallel ingestion path relies on: one remap per (worker, element)
+// serves every multiset staged in that worker's symbol space, with
+// symbols resolved through strings only on their first corpus-wide
+// sight, and the result equals sequential adds.
+func TestMergeMultisetRemapPersistsAcrossCalls(t *testing.T) {
+	// Two "shards" staged in one worker-local symbol space.
+	tab := intern.NewTable()
+	ids := func(syms ...string) []int32 {
+		out := make([]int32, len(syms))
+		for i, s := range syms {
+			out[i] = int32(tab.Intern(s))
+		}
+		return out
+	}
+	var shard1, shard2 Multiset
+	shard1.AddIDs(ids("b", "a"), 1)
+	shard2.AddIDs(ids("b", "a"), 1)
+	shard2.AddIDs(ids("c", "a", "c"), 2)
+
+	corpus := New()
+	var remap intern.Remap
+	corpus.MergeMultiset(&shard1, tab, &remap)
+	corpus.MergeMultiset(&shard2, tab, &remap)
+
+	want := FromStrings([][]string{
+		{"b", "a"}, {"b", "a"}, {"c", "a", "c"}, {"c", "a", "c"},
+	})
+	if !reflect.DeepEqual(corpus, want) {
+		t.Errorf("merged corpus = %v, want %v", corpus.Strings(), want.Strings())
+	}
+	// The remap now covers every symbol the worker staged; a fresh
+	// multiset in the same space must merge without new resolutions.
+	for old := int32(0); int(old) < tab.Len(); old++ {
+		if remap.Get(old) < 0 {
+			t.Errorf("symbol %d (%s) unresolved after merges", old, tab.Name(int(old)))
+		}
+	}
 }

@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile
+.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile incremental-smoke
 
 build:
 	$(GO) build ./...
@@ -29,12 +29,21 @@ RACE_CPU ?= 1,4
 race:
 	$(GO) test -race -timeout 10m -cpu $(RACE_CPU) ./...
 
-check: fmt-check vet race
+# incremental-smoke is the cache-equivalence gate: for every engine, warm
+# re-inference over a memoized extraction must stay byte-identical to a
+# cold from-scratch run. It also runs under `race` as part of the full
+# suite; the named target keeps the check visible (and fast to run alone)
+# when touching the fingerprint or cache code.
+incremental-smoke:
+	$(GO) test -run 'TestIncrementalColdWarmIdentical' .
+
+check: fmt-check vet incremental-smoke race
 
 # bench records the perf-trajectory workloads (Section 8.3 timings, the
 # end-to-end pipeline at several ingestion worker counts, the isolated
-# sharded-ingestion benchmark at both decoders, and the dedup-vs-verbatim
-# sample pipeline comparison) as BENCH_PR6.json via cmd/benchjson.
+# sharded-ingestion benchmark at both decoders, the dedup-vs-verbatim
+# sample pipeline comparison, and the cold-vs-warm incremental inference
+# contrast) as BENCH_PR7.json via cmd/benchjson.
 #
 # The ingestion benchmarks run over a generated corpus of BENCH_MB
 # megabytes (default 100) so worker counts are measured against a
@@ -44,10 +53,10 @@ check: fmt-check vet race
 # invisible. On a single-CPU machine, set GOMAXPROCS explicitly (e.g.
 # GOMAXPROCS=4) to record an oversubscribed run — the per-entry
 # gomaxprocs/cpus metrics keep it honest.
-BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDecoder|BenchmarkIngestDedup
+BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDecoder|BenchmarkIngestDedup|BenchmarkIncrementalInfer
 BENCH_COUNT ?= 3x
 BENCH_MB ?= 100
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
 bench:
 	@gmp="$${GOMAXPROCS:-$$(nproc)}"; \

@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -311,6 +312,94 @@ func corpusDocs(n int) (func() []io.Reader, int64) {
 		}
 	}
 	return func() []io.Reader { return corpus.Documents(docs) }, bytes
+}
+
+// BenchmarkIncrementalInfer measures memoized re-inference against cold
+// inference over the same extraction. "cold" invalidates the model cache
+// every iteration, so every element re-enters the engine. "warm-1elem"
+// re-infers after an update that gives exactly one element (the corpus
+// root) a shape it has never seen; every other element is served from the
+// fingerprinted cache. "warm-10pct" re-infers after ingesting a fresh
+// batch a tenth the corpus size. Ingestion is off the clock (StopTimer):
+// the contrast is pure inference cost. The recorded cache-hits/engine-runs
+// metrics show how much of each pass was memoized.
+func BenchmarkIncrementalInfer(b *testing.B) {
+	const nDocs = 2000
+	docs := corpus.Protein(1, nDocs)
+	build := func(b *testing.B) *Extraction {
+		x := NewExtraction()
+		if _, err := x.AddDocuments(corpus.Documents(docs), nil, dtd.FailFast); err != nil {
+			b.Fatal(err)
+		}
+		return x
+	}
+	infer := func(b *testing.B, x *Extraction) *dtd.InferStats {
+		_, st, err := core.InferDTDFromExtractionStats(x, core.IDTD, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	report := func(b *testing.B, hits, engine int64) {
+		b.ReportMetric(float64(hits)/float64(b.N), "cache-hits/op")
+		b.ReportMetric(float64(engine)/float64(b.N), "engine-runs/op")
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		x := build(b)
+		var hits, engine int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x.InvalidateCache()
+			st := infer(b, x)
+			hits += int64(st.CacheHits)
+			engine += int64(st.CacheMisses + st.CacheRecomputes)
+		}
+		report(b, hits, engine)
+	})
+
+	b.Run("warm-1elem", func(b *testing.B) {
+		x := build(b)
+		inner := strings.TrimSuffix(strings.TrimPrefix(docs[0], "<ProteinDatabase>"), "</ProteinDatabase>")
+		infer(b, x) // prime the cache
+		var hits, engine int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			// The repeat count grows monotonically, so every update hands
+			// the root a child sequence it has never seen; the entry
+			// subtree replays document 0, so every other element's sample
+			// keeps its fingerprint and stays warm.
+			doc := "<ProteinDatabase>" + strings.Repeat(inner, 50+i) + "</ProteinDatabase>"
+			if err := x.AddDocument(strings.NewReader(doc)); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			st := infer(b, x)
+			hits += int64(st.CacheHits)
+			engine += int64(st.CacheMisses + st.CacheRecomputes)
+		}
+		report(b, hits, engine)
+	})
+
+	b.Run("warm-10pct", func(b *testing.B) {
+		x := build(b)
+		infer(b, x) // prime the cache
+		var hits, engine int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			batch := corpus.Protein(int64(1000+i), nDocs/10)
+			if _, err := x.AddDocuments(corpus.Documents(batch), nil, dtd.FailFast); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			st := infer(b, x)
+			hits += int64(st.CacheHits)
+			engine += int64(st.CacheMisses + st.CacheRecomputes)
+		}
+		report(b, hits, engine)
+	})
 }
 
 // BenchmarkIngestDedup contrasts the two sample pipelines on a

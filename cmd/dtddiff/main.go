@@ -7,6 +7,12 @@
 // Usage:
 //
 //	dtddiff [-v] first.dtd second.dtd
+//	dtddiff -feed [-from N] [-to M] first.dtd second.dtd
+//
+// With -feed the diff is rendered as a one-line snapshot change feed
+// ("v3→v4: modified <order>, added <sku>"), treating the first DTD as
+// snapshot version N (default 0) and the second as version M (default
+// N+1) — the observable form of an incremental publish.
 //
 // Exit status 1 when the DTDs differ.
 package main
@@ -21,6 +27,9 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "also list equivalent elements")
+	feed := flag.Bool("feed", false, "render the diff as a snapshot change-feed line")
+	from := flag.Uint64("from", 0, "snapshot version of the first DTD (with -feed)")
+	to := flag.Uint64("to", 0, "snapshot version of the second DTD (with -feed; default from+1)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		flag.Usage()
@@ -35,6 +44,18 @@ func main() {
 		fatal(err)
 	}
 	entries := dtd.Diff(first, second)
+	if *feed {
+		t := *to
+		if t == 0 {
+			t = *from + 1
+		}
+		changes := dtd.Changes(entries)
+		fmt.Println(dtd.FormatChangeFeed(*from, t, changes))
+		if !changes.Empty() {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Print(dtd.FormatDiff(entries, *verbose))
 	for _, e := range entries {
 		if e.Relation != dtd.Equivalent {

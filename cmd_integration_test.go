@@ -256,3 +256,41 @@ func TestCLIDtdvalidateIDREFAndCaps(t *testing.T) {
 		t.Errorf("validator depth cap not enforced (exit %d):\n%s", code, out)
 	}
 }
+
+func TestCLIDtddiffChangeFeed(t *testing.T) {
+	dir := t.TempDir()
+	v3 := writeFile(t, dir, "v3.dtd", `<!DOCTYPE r [
+<!ELEMENT r (x+)>
+<!ELEMENT x (#PCDATA)>
+]>`)
+	v4 := writeFile(t, dir, "v4.dtd", `<!DOCTYPE r [
+<!ELEMENT r (x*,y?)>
+<!ELEMENT x (#PCDATA)>
+<!ELEMENT y EMPTY>
+]>`)
+	out, code := runTool(t, "dtddiff", "", "-feed", "-from", "3", v3, v4)
+	if code != 1 {
+		t.Errorf("changed feed must exit 1, got %d:\n%s", code, out)
+	}
+	for _, want := range []string{"v3→v4:", "modified <r>", "added <y>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("feed missing %q:\n%s", want, out)
+		}
+	}
+	out, code = runTool(t, "dtddiff", "", "-feed", "-from", "4", "-to", "7", v4, v4)
+	if code != 0 || !strings.Contains(out, "v4→v7: no changes") {
+		t.Errorf("self feed: exit %d:\n%s", code, out)
+	}
+}
+
+func TestCLIDtdinferStatsCacheLine(t *testing.T) {
+	dir := t.TempDir()
+	doc := writeFile(t, dir, "d.xml", `<r><x>1</x><y/></r>`)
+	out, code := runTool(t, "dtdinfer", "", "-stats", doc)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "cache:") || !strings.Contains(out, "dirty elements") {
+		t.Errorf("stats output missing cache counters:\n%s", out)
+	}
+}

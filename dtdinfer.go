@@ -216,10 +216,41 @@ func InferDTDContext(ctx context.Context, docs []io.Reader, algo Algorithm, opts
 
 // InferDTDFromExtraction infers a DTD from pre-extracted sequences,
 // supporting incremental workflows where extraction state is kept while new
-// documents arrive.
+// documents arrive. Repeated calls with the same algorithm and options are
+// memoized per element: only elements whose samples changed since the
+// previous call re-enter the engines, and the result stays byte-identical
+// to a cold inference.
 func InferDTDFromExtraction(x *Extraction, algo Algorithm, opts *Options) (*DTD, error) {
 	return core.InferDTDFromExtraction(x, algo, opts)
 }
+
+// Doc is one labelled document in an ingestion batch: a reader plus the
+// label (typically a file name) error reports attribute failures to.
+type Doc = dtd.Doc
+
+// Snapshot is one published inference result: an immutable DTD tagged
+// with a monotonically increasing version, plus the stats of the pass
+// that produced it. Readers may hold a snapshot indefinitely while newer
+// versions are published.
+type Snapshot = core.Snapshot
+
+// Incremental maintains a DTD over a growing corpus: ingest batches with
+// AddDocs, publish immutable versioned snapshots with Refresh, and read
+// the latest with Current (a lock-free atomic load, safe concurrent with
+// ingestion and re-inference). Re-inference is incremental: elements
+// whose samples are unchanged replay their cached content models.
+type Incremental = core.Incremental
+
+// NewIncremental returns an empty incremental inferrer for the given
+// engine configuration.
+func NewIncremental(algo Algorithm, opts *Options) *Incremental {
+	return core.NewIncremental(algo, opts)
+}
+
+// ChangeFeed renders what changed between two published snapshots
+// ("v3→v4: modified <order>, added <sku>"). A nil prev reports every
+// element as added.
+func ChangeFeed(prev, next *Snapshot) string { return core.ChangeFeed(prev, next) }
 
 // InferXSD infers a schema and renders it as W3C XML Schema with datatype
 // detection over the sampled text values.

@@ -359,20 +359,27 @@ func InferDTDReportContext(ctx context.Context, docs []io.Reader, algo Algorithm
 
 // InferDTDFromExtraction infers a DTD from already-extracted sequences.
 func InferDTDFromExtraction(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, error) {
-	d, _, err := x.InferDTDElements(context.Background(), ElementInferrer(algo, opts))
+	d, _, err := InferDTDFromExtractionContext(context.Background(), x, algo, opts)
 	return d, err
 }
 
 // InferDTDFromExtractionStats additionally reports per-element inference
 // timings and degradation outcomes from InferDTD's worker pool.
 func InferDTDFromExtractionStats(x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, *dtd.InferStats, error) {
-	return x.InferDTDElements(context.Background(), ElementInferrer(algo, opts))
+	return InferDTDFromExtractionContext(context.Background(), x, algo, opts)
 }
 
 // InferDTDFromExtractionContext is InferDTDFromExtractionStats under a
-// context — the entry point the CLI runs on.
+// context — the entry point the CLI and incremental workflows run on.
+// Inference is memoized per element on the extraction: repeated calls
+// with the same algorithm and options replay cached content models for
+// every element whose sample has not changed since the previous call
+// (validated by content fingerprint, so the result is byte-identical to
+// a cold run), and the returned InferStats carries the hit/miss/
+// recompute counters. A call with different algorithm or options keys
+// its own cache entries and never aliases another configuration's.
 func InferDTDFromExtractionContext(ctx context.Context, x *dtd.Extraction, algo Algorithm, opts *Options) (*dtd.DTD, *dtd.InferStats, error) {
-	return x.InferDTDElements(ctx, ElementInferrer(algo, opts))
+	return x.InferDTDElementsCached(ctx, cacheConfig(algo, opts), ElementInferrer(algo, opts))
 }
 
 // InferXSD infers a DTD from the documents and renders it as an XML Schema

@@ -148,6 +148,68 @@ func subsetNames(a, b []string) bool {
 	return true
 }
 
+// ChangeSummary buckets a diff into what a schema consumer cares about
+// when a new version is published: elements whose declarations changed,
+// elements that appeared, and elements that vanished.
+type ChangeSummary struct {
+	Added    []string
+	Removed  []string
+	Modified []string
+}
+
+// Empty reports whether nothing changed.
+func (c ChangeSummary) Empty() bool {
+	return len(c.Added) == 0 && len(c.Removed) == 0 && len(c.Modified) == 0
+}
+
+// Changes buckets diff entries (as returned by Diff, element-sorted)
+// into a ChangeSummary: OnlySecond entries are additions, OnlyFirst
+// removals, and any non-equivalent two-sided entry a modification.
+func Changes(entries []DiffEntry) ChangeSummary {
+	var c ChangeSummary
+	for _, e := range entries {
+		switch e.Relation {
+		case Equivalent:
+		case OnlySecond:
+			c.Added = append(c.Added, e.Element)
+		case OnlyFirst:
+			c.Removed = append(c.Removed, e.Element)
+		default:
+			c.Modified = append(c.Modified, e.Element)
+		}
+	}
+	return c
+}
+
+// FormatChangeFeed renders one change-feed line for a version step:
+// "v3→v4: modified <order>, added <sku>" ("no changes" when the step
+// changed nothing).
+func FormatChangeFeed(from, to uint64, c ChangeSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d→v%d:", from, to)
+	wrote := false
+	cat := func(verb string, names []string) {
+		if len(names) == 0 {
+			return
+		}
+		if wrote {
+			b.WriteString(",")
+		}
+		b.WriteString(" " + verb)
+		for _, n := range names {
+			fmt.Fprintf(&b, " <%s>", n)
+		}
+		wrote = true
+	}
+	cat("modified", c.Modified)
+	cat("added", c.Added)
+	cat("removed", c.Removed)
+	if !wrote {
+		b.WriteString(" no changes")
+	}
+	return b.String()
+}
+
 // FormatDiff renders a diff, hiding equivalent entries unless verbose.
 func FormatDiff(entries []DiffEntry, verbose bool) string {
 	var b strings.Builder

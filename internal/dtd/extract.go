@@ -6,10 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"dtdinfer/internal/regex"
@@ -45,6 +43,22 @@ type Extraction struct {
 	Roots map[string]int
 	// Documents counts processed documents.
 	Documents int
+
+	// dirty marks elements whose structural observations changed since the
+	// last cached inference pass: a new distinct children shape (shape
+	// fingerprint moved), a text flag flip, or an attribute-statistics
+	// shape change (new attribute, new distinct value, overflow). Pure
+	// multiplicity bumps of already-seen shapes and attribute presence
+	// counts do not mark — which is what makes the bit cheap and lets a
+	// merge of only-seen shapes leave an element clean. The bit is
+	// observational (stats, DirtyElements); cache *correctness* rests on
+	// per-element fingerprints, which count-sensitive engine configs
+	// compare in counted form. Lazily allocated; cleared by a successful
+	// cached inference.
+	dirty map[string]bool
+	// cache memoizes inferred content models per (element, engine config,
+	// fingerprint); see InferDTDElementsCached. Lazily allocated.
+	cache *modelCache
 }
 
 const maxTextSamples = 100
@@ -199,10 +213,36 @@ func (x *Extraction) extractOne(ctx context.Context, r io.Reader, opts *IngestOp
 func (x *Extraction) commitSequences(seqs map[string][][]string) {
 	for name, list := range seqs {
 		s := x.sampleOf(name)
+		before := s.ShapeFingerprint()
 		for _, w := range list {
 			s.Add(w)
 		}
+		if s.ShapeFingerprint() != before {
+			x.markDirty(name)
+		}
 	}
+}
+
+// markDirty records that an element's structural observations changed
+// since the last cached inference pass.
+func (x *Extraction) markDirty(name string) {
+	if x.dirty == nil {
+		x.dirty = map[string]bool{}
+	}
+	x.dirty[name] = true
+}
+
+// DirtyElements returns, sorted, the elements whose structural
+// observations changed since the last successful cached inference pass
+// (or since the extraction was created). See the dirty field for what
+// counts as a change.
+func (x *Extraction) DirtyElements() []string {
+	names := make([]string, 0, len(x.dirty))
+	for n := range x.dirty {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // recordAttribute folds one observed attribute value into the statistics.
@@ -240,8 +280,12 @@ func (x *Extraction) sampleOf(element string) *sample.Set {
 // sequences fold into multiplicity counts.
 func (x *Extraction) AddSequences(element string, seqs [][]string) {
 	s := x.sampleOf(element)
+	before := s.ShapeFingerprint()
 	for _, w := range seqs {
 		s.Add(w)
+	}
+	if s.ShapeFingerprint() != before {
+		x.markDirty(element)
 	}
 }
 
@@ -333,6 +377,10 @@ type ElementOutcome struct {
 	// Elapsed is the wall-clock time of the whole attempt chain for this
 	// element, including failed rungs.
 	Elapsed time.Duration
+	// FromCache marks an outcome replayed from the model cache: the
+	// engine fields describe the pass that originally computed the model,
+	// while Elapsed is this pass's (cache-lookup) cost.
+	FromCache bool
 }
 
 // InferElementFunc turns one element's counted sample into a content
@@ -348,66 +396,17 @@ type InferElementFunc = func(ctx context.Context, name string, s *sample.Set) (*
 // the first error returned is ctx.Err() — and is passed to every element
 // inferrer, which layers per-element deadlines and budgets on top of it.
 // Outcomes reported by the inferrer are collected into the stats in
-// element order.
+// element order. No result memoization happens at this entry point; see
+// InferDTDElementsCached.
 func (x *Extraction) InferDTDElements(ctx context.Context, infer InferElementFunc) (*DTD, *InferStats, error) {
-	start := time.Now()
-	names := make([]string, 0, len(x.Sequences))
-	for n := range x.Sequences {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, nil, fmt.Errorf("dtd: no elements observed")
-	}
-	elements := make([]*Element, len(names))
-	outcomes := make([]*ElementOutcome, len(names))
-	errs := make([]error, len(names))
-	timings := make([]ElementTiming, len(names))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, name := range names {
-		if ctx.Err() != nil {
-			break
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, name string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			t0 := time.Now()
-			elements[i], outcomes[i], errs[i] = x.inferElementOutcome(ctx, name, infer)
-			timings[i] = ElementTiming{
-				Name:      name,
-				Sequences: x.Sequences[name].Total(),
-				Duration:  time.Since(t0),
-			}
-		}(i, name)
-	}
-	wg.Wait()
-	stats := &InferStats{Wall: time.Since(start), PerElement: timings}
-	for _, o := range outcomes {
-		if o != nil {
-			stats.Outcomes = append(stats.Outcomes, *o)
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, stats, err
-	}
-	d := New(x.Root())
-	for i, e := range elements {
-		if errs[i] != nil {
-			return nil, stats, errs[i]
-		}
-		d.Declare(e)
-	}
-	x.inferAttributes(d)
-	return d, stats, nil
+	return x.InferDTDElementsCached(ctx, nil, infer)
 }
 
 // inferElementOutcome derives one element's declaration. The inferrer is
 // consulted only for children content; text-only, empty and mixed
-// declarations are structural and never degrade.
-func (x *Extraction) inferElementOutcome(ctx context.Context, name string, infer InferElementFunc) (*Element, *ElementOutcome, error) {
+// declarations are structural and never degrade (and are never cached —
+// they cost map lookups, not engine runs).
+func (x *Extraction) inferElementOutcome(ctx context.Context, name string, cfg *CacheConfig, cnt *cacheCounters, infer InferElementFunc) (*Element, *ElementOutcome, error) {
 	seqs := x.Sequences[name]
 	hasChildren := seqs.NumSymbols() > 0
 	switch {
@@ -417,6 +416,8 @@ func (x *Extraction) inferElementOutcome(ctx context.Context, name string, infer
 		return &Element{Name: name, Type: Empty}, nil, nil
 	case x.HasText[name]:
 		return &Element{Name: name, Type: Mixed, MixedNames: seqs.Symbols()}, nil, nil
+	case cfg != nil:
+		return x.inferChildrenCached(ctx, name, seqs, cfg, cnt, infer)
 	default:
 		model, outcome, err := infer(ctx, name, seqs)
 		if err != nil {

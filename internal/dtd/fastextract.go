@@ -474,6 +474,7 @@ func (f *fastIngester) commit(target *Extraction) {
 		name := f.names.Name(int(w))
 		if len(st.ends) > 0 {
 			tgt := f.targetFor(w, target)
+			before := tgt.set.ShapeFingerprint()
 			start := 0
 			for _, end := range st.ends {
 				f.idBuf = f.idBuf[:0]
@@ -488,9 +489,13 @@ func (f *fastIngester) commit(target *Extraction) {
 				tgt.set.AddIDs(f.idBuf, 1)
 				start = end
 			}
+			if tgt.set.ShapeFingerprint() != before {
+				target.markDirty(name)
+			}
 		}
-		if st.hasText {
+		if st.hasText && !target.HasText[name] {
 			target.HasText[name] = true
+			target.markDirty(name)
 		}
 		if len(st.texts) > 0 {
 			target.TextSamples[name] = append(target.TextSamples[name], st.texts...)
@@ -509,7 +514,8 @@ func (f *fastIngester) commit(target *Extraction) {
 }
 
 // commitAttr folds one staged attribute statistic into the target,
-// honoring the accumulated distinct-value cap like mergeAttStats.
+// honoring the accumulated distinct-value cap like mergeAttStats, and
+// marking the element dirty under the same attribute-shape conditions.
 func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) {
 	atts := target.Attributes[elem]
 	if atts == nil {
@@ -520,15 +526,23 @@ func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) 
 	if st == nil {
 		st = &attStats{values: map[string]int{}}
 		atts[a.name] = st
+		target.markDirty(elem)
 	}
 	st.present += a.present
-	if a.overflow {
+	if a.overflow && !st.overflow {
 		st.overflow = true
+		target.markDirty(elem)
 	}
 	for _, vc := range a.vals {
-		if _, seen := st.values[vc.v]; !seen && len(st.values) >= maxAttValues {
-			st.overflow = true
-			continue
+		if _, seen := st.values[vc.v]; !seen {
+			if len(st.values) >= maxAttValues {
+				if !st.overflow {
+					st.overflow = true
+					target.markDirty(elem)
+				}
+				continue
+			}
+			target.markDirty(elem)
 		}
 		st.values[vc.v] += vc.n
 	}
@@ -692,10 +706,15 @@ func (f *fastIngester) commitShard(sh *fastShard, target *Extraction) {
 		name := f.names.Name(int(w))
 		if se.ms.Unique() > 0 {
 			tgt := f.targetFor(w, target)
+			before := tgt.set.ShapeFingerprint()
 			tgt.set.MergeMultiset(&se.ms, f.names, &tgt.remap)
+			if tgt.set.ShapeFingerprint() != before {
+				target.markDirty(name)
+			}
 		}
-		if se.hasText {
+		if se.hasText && !target.HasText[name] {
 			target.HasText[name] = true
+			target.markDirty(name)
 		}
 		if len(se.texts) > 0 {
 			have := target.TextSamples[name]

@@ -1,0 +1,270 @@
+package dtd
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dtdinfer/internal/regex"
+	"dtdinfer/internal/sample"
+)
+
+// Incremental inference: repeated InferDTD* passes over a growing
+// extraction skip the engines for every element whose sample has not
+// changed. Eligibility is decided per element by comparing the sample's
+// content fingerprint (see sample.Multiset) against the fingerprint the
+// cached model was computed from; the dirty bits maintained by the
+// ingestion paths are the cheap observability layer on top (how many
+// elements changed since the last pass), not the correctness mechanism.
+// Cached models are returned pointer-identical, so a warm pass renders
+// byte-identically to the cold pass that populated the cache.
+
+// CacheConfig identifies one engine configuration for the model cache.
+// Two inference passes share cached models only when their Keys are
+// equal, so the key must encode everything that can change an engine's
+// output for the same sample: algorithm, engine options, budget,
+// degradation mode. Counted selects the count-sensitive fingerprint for
+// engines whose output depends on sequence multiplicities (noise
+// thresholds, numeric predicates, support-weighted factoring); shape-only
+// engines validate against the shape fingerprint and so stay warm across
+// merges that only bump multiplicities of already-seen shapes.
+type CacheConfig struct {
+	Key     string
+	Counted bool
+}
+
+// modelKey addresses one cached content model.
+type modelKey struct {
+	name   string
+	config string
+}
+
+// modelCacheEntry is one memoized inference result: the fingerprint of
+// the sample it was computed from, the accepted model, and the outcome
+// that produced it (nil when the inferrer reported none).
+type modelCacheEntry struct {
+	fp      uint64
+	model   *regex.Expr
+	outcome *ElementOutcome
+}
+
+// modelCache memoizes content models across inference passes on one
+// extraction. Guarded by a mutex: the inference pool's workers look up
+// and store entries concurrently.
+type modelCache struct {
+	mu      sync.Mutex
+	entries map[modelKey]*modelCacheEntry
+}
+
+func (c *modelCache) get(k modelKey) (*modelCacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	return e, ok
+}
+
+func (c *modelCache) put(k modelKey, e *modelCacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = e
+}
+
+// InvalidateCache drops every memoized content model, forcing the next
+// cached inference pass to run cold. Benchmarks use it to measure cold
+// passes on a warm extraction; library callers normally never need it —
+// fingerprint validation already invalidates per element.
+func (x *Extraction) InvalidateCache() { x.cache = nil }
+
+// cacheCounters tallies one inference pass's cache traffic.
+type cacheCounters struct {
+	hits       atomic.Int64
+	misses     atomic.Int64
+	recomputes atomic.Int64
+}
+
+// InferDTDElementsCached is InferDTDElements with per-element result
+// memoization. With a nil cfg it behaves exactly like the uncached
+// entry point. With a config, each element with children content is
+// looked up in the extraction's model cache under (element, cfg.Key):
+// a hit whose stored fingerprint matches the sample's current one
+// returns the cached model without entering the engine or the
+// degradation ladder; a mismatch recomputes and overwrites; an absent
+// entry computes and fills. Structural declarations (EMPTY, #PCDATA,
+// mixed) and <!ATTLIST> inference are recomputed every pass — they are
+// map traffic, not engine work. On a fully successful pass the dirty
+// bits are cleared; a failed or cancelled pass leaves them (and the
+// cache entries already stored) intact, so the next pass resumes
+// incrementally.
+func (x *Extraction) InferDTDElementsCached(ctx context.Context, cfg *CacheConfig, infer InferElementFunc) (*DTD, *InferStats, error) {
+	start := time.Now()
+	names := make([]string, 0, len(x.Sequences))
+	for n := range x.Sequences {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("dtd: no elements observed")
+	}
+	var cnt cacheCounters
+	if cfg != nil && x.cache == nil {
+		// Allocated single-threaded, before the pool: workers only ever
+		// see a fully constructed cache.
+		x.cache = &modelCache{entries: map[modelKey]*modelCacheEntry{}}
+	}
+	dirty := len(x.dirty)
+	elements := make([]*Element, len(names))
+	outcomes := make([]*ElementOutcome, len(names))
+	errs := make([]error, len(names))
+	timings := make([]ElementTiming, len(names))
+	// Under a cache config, everything that needs no engine work —
+	// structural declarations and fingerprint-valid cache hits — is
+	// served inline first; only elements that must actually run an
+	// engine reach the worker pool. A warm pass over an unchanged corpus
+	// therefore resolves every element right here and spawns no
+	// goroutines at all: the pool's fan-out costs more than the lookups
+	// it would perform.
+	pending := make([]int, 0, len(names))
+	for i, name := range names {
+		if cfg == nil {
+			pending = append(pending, i)
+			continue
+		}
+		t0 := time.Now()
+		elem, outcome, served := x.serveCached(name, cfg, &cnt)
+		if !served {
+			pending = append(pending, i)
+			continue
+		}
+		elements[i], outcomes[i] = elem, outcome
+		timings[i] = ElementTiming{
+			Name:      name,
+			Sequences: x.Sequences[name].Total(),
+			Duration:  time.Since(t0),
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, i := range pending {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			elements[i], outcomes[i], errs[i] = x.inferElementOutcome(ctx, name, cfg, &cnt, infer)
+			timings[i] = ElementTiming{
+				Name:      name,
+				Sequences: x.Sequences[name].Total(),
+				Duration:  time.Since(t0),
+			}
+		}(i, names[i])
+	}
+	wg.Wait()
+	stats := &InferStats{Wall: time.Since(start), PerElement: timings}
+	if cfg != nil {
+		stats.Cached = true
+		stats.CacheHits = int(cnt.hits.Load())
+		stats.CacheMisses = int(cnt.misses.Load())
+		stats.CacheRecomputes = int(cnt.recomputes.Load())
+		stats.Dirty = dirty
+	}
+	for _, o := range outcomes {
+		if o != nil {
+			stats.Outcomes = append(stats.Outcomes, *o)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	d := New(x.Root())
+	for i, e := range elements {
+		if errs[i] != nil {
+			return nil, stats, errs[i]
+		}
+		d.Declare(e)
+	}
+	x.inferAttributes(d)
+	if cfg != nil {
+		clear(x.dirty)
+	}
+	return d, stats, nil
+}
+
+// serveCached resolves one element without engine work when possible:
+// structural declarations (EMPTY, #PCDATA, mixed — table lookups, never
+// engines) and children-content elements whose cached model's stored
+// fingerprint still matches the sample's. served=false means the element
+// needs an engine run (absent or stale cache entry); the caller
+// dispatches those to the worker pool, where inferChildrenCached counts
+// the miss or recompute.
+func (x *Extraction) serveCached(name string, cfg *CacheConfig, cnt *cacheCounters) (elem *Element, outcome *ElementOutcome, served bool) {
+	seqs := x.Sequences[name]
+	hasChildren := seqs.NumSymbols() > 0
+	switch {
+	case !hasChildren && x.HasText[name]:
+		return &Element{Name: name, Type: PCData}, nil, true
+	case !hasChildren:
+		return &Element{Name: name, Type: Empty}, nil, true
+	case x.HasText[name]:
+		return &Element{Name: name, Type: Mixed, MixedNames: seqs.Symbols()}, nil, true
+	}
+	fp := seqs.ShapeFingerprint()
+	if cfg.Counted {
+		fp = seqs.CountedFingerprint()
+	}
+	t0 := time.Now()
+	ent, ok := x.cache.get(modelKey{name: name, config: cfg.Key})
+	if !ok || ent.fp != fp {
+		return nil, nil, false
+	}
+	cnt.hits.Add(1)
+	if ent.outcome != nil {
+		oc := *ent.outcome
+		oc.FromCache = true
+		oc.Elapsed = time.Since(t0)
+		outcome = &oc
+	}
+	return &Element{Name: name, Type: Children, Model: ent.model}, outcome, true
+}
+
+// inferChildrenCached resolves one children-content element through the
+// model cache. The fingerprint is read before the engine runs; sample
+// sets are not mutated during inference, so the stored fingerprint is
+// exactly the content the model was computed from.
+func (x *Extraction) inferChildrenCached(ctx context.Context, name string, seqs *sample.Set, cfg *CacheConfig, cnt *cacheCounters, infer InferElementFunc) (*Element, *ElementOutcome, error) {
+	fp := seqs.ShapeFingerprint()
+	if cfg.Counted {
+		fp = seqs.CountedFingerprint()
+	}
+	key := modelKey{name: name, config: cfg.Key}
+	t0 := time.Now()
+	if ent, ok := x.cache.get(key); ok {
+		if ent.fp == fp {
+			cnt.hits.Add(1)
+			var outcome *ElementOutcome
+			if ent.outcome != nil {
+				oc := *ent.outcome
+				oc.FromCache = true
+				oc.Elapsed = time.Since(t0)
+				outcome = &oc
+			}
+			return &Element{Name: name, Type: Children, Model: ent.model}, outcome, nil
+		}
+		cnt.recomputes.Add(1)
+	} else {
+		cnt.misses.Add(1)
+	}
+	model, outcome, err := infer(ctx, name, seqs)
+	if err != nil {
+		return nil, outcome, fmt.Errorf("dtd: inferring content model of %s: %w", name, err)
+	}
+	x.cache.put(key, &modelCacheEntry{fp: fp, model: model, outcome: outcome})
+	return &Element{Name: name, Type: Children, Model: model}, outcome, nil
+}

@@ -360,6 +360,8 @@ func (x *Extraction) reset() {
 	clear(x.TextOverflow)
 	clear(x.Attributes)
 	clear(x.Roots)
+	clear(x.dirty)
+	x.cache = nil
 	x.Documents = 0
 }
 
@@ -373,11 +375,17 @@ func (x *Extraction) reset() {
 // a symbol.
 func (x *Extraction) Merge(o *Extraction) {
 	for name, seqs := range o.Sequences {
-		x.sampleOf(name).Merge(seqs)
+		s := x.sampleOf(name)
+		before := s.ShapeFingerprint()
+		s.Merge(seqs)
+		if s.ShapeFingerprint() != before {
+			x.markDirty(name)
+		}
 	}
 	for name, has := range o.HasText {
-		if has {
+		if has && !x.HasText[name] {
 			x.HasText[name] = true
+			x.markDirty(name)
 		}
 	}
 	for name, samples := range o.TextSamples {
@@ -411,7 +419,11 @@ func (x *Extraction) Merge(o *Extraction) {
 }
 
 // mergeAttStats folds one element/attribute statistic into x, honoring
-// the distinct-value cap the per-document recording also enforces.
+// the distinct-value cap the per-document recording also enforces. The
+// element is marked dirty on attribute-shape changes (new attribute,
+// new distinct value, overflow flip) but not on bare presence-count
+// bumps — <!ATTLIST> declarations are recomputed on every inference
+// pass, so the dirty bit only tracks changes that could alter them.
 func (x *Extraction) mergeAttStats(elem, att string, o *attStats) {
 	atts := x.Attributes[elem]
 	if atts == nil {
@@ -422,15 +434,23 @@ func (x *Extraction) mergeAttStats(elem, att string, o *attStats) {
 	if st == nil {
 		st = &attStats{values: map[string]int{}}
 		atts[att] = st
+		x.markDirty(elem)
 	}
 	st.present += o.present
-	if o.overflow {
+	if o.overflow && !st.overflow {
 		st.overflow = true
+		x.markDirty(elem)
 	}
 	for v, n := range o.values {
-		if _, seen := st.values[v]; !seen && len(st.values) >= maxAttValues {
-			st.overflow = true
-			continue
+		if _, seen := st.values[v]; !seen {
+			if len(st.values) >= maxAttValues {
+				if !st.overflow {
+					st.overflow = true
+					x.markDirty(elem)
+				}
+				continue
+			}
+			x.markDirty(elem)
 		}
 		st.values[v] += n
 	}
@@ -448,6 +468,19 @@ type InferStats struct {
 	// deterministic element order. Empty when the inferrer predates the
 	// outcome protocol or no element has children content.
 	Outcomes []ElementOutcome
+	// Cached reports whether this pass consulted a model cache (see
+	// InferDTDElementsCached); the counters below are meaningful only
+	// when it is set. Hits returned a memoized model without running an
+	// engine; misses had no cached entry; recomputes had an entry whose
+	// fingerprint no longer matched the sample.
+	Cached          bool
+	CacheHits       int
+	CacheMisses     int
+	CacheRecomputes int
+	// Dirty counts the elements whose structural observations had
+	// changed since the previous cached pass, captured before this pass
+	// cleared the bits.
+	Dirty int
 }
 
 // ElementTiming is one element's inference cost.
@@ -471,6 +504,10 @@ func (s *InferStats) String() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "inferred %d elements in %v", len(order), s.Wall)
+	if s.Cached {
+		fmt.Fprintf(&b, "\n  cache: %d hits, %d misses, %d recomputes; %d dirty elements",
+			s.CacheHits, s.CacheMisses, s.CacheRecomputes, s.Dirty)
+	}
 	for _, t := range order {
 		fmt.Fprintf(&b, "\n  %-24s %8d seqs  %v", t.Name, t.Sequences, t.Duration)
 	}

@@ -29,12 +29,12 @@ func TestReviewShardAttCapDivergence(t *testing.T) {
 	}
 
 	seq := NewExtraction()
-	if _, err := seq.AddDocs(mk(), nil, CollectErrors); err != nil {
+	if _, err := seq.AddDocs(mk(), nil, SkipAndRecord); err != nil {
 		t.Fatal(err)
 	}
 	par := NewExtraction()
 	// 2 workers -> shards; docC should land in a later shard than docA.
-	if _, err := par.AddDocsParallelContext(t.Context(), mk(), 2, nil, CollectErrors); err != nil {
+	if _, err := par.AddDocsParallelContext(t.Context(), mk(), 2, nil, SkipAndRecord); err != nil {
 		t.Fatal(err)
 	}
 	sx := seq.Attributes["e"]["a"].values["X"]

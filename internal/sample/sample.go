@@ -36,6 +36,20 @@ type Multiset struct {
 	total int
 	// keyBuf is the reusable encoding buffer for index lookups.
 	keyBuf []byte
+	// hashes[i] is the content hash of seqs[i] — a chained hash over the
+	// *strings* of its symbols, so two Sets holding the same logical
+	// multiset agree on it regardless of how their ID spaces were
+	// assigned. Bare Multisets staged in a worker's private space carry
+	// zero hashes (their fingerprints are never read); the hash is
+	// supplied by the owning Set, which knows the symbol strings.
+	hashes []uint64
+	// shapeFp is the XOR of hashes — an order-insensitive fingerprint of
+	// the *distinct* sequence set, unchanged when a merge only bumps
+	// multiplicities of already-seen shapes.
+	shapeFp uint64
+	// countFp is the sum of hashes[i]*counts[i] (mod 2^64) — shapeFp's
+	// count-sensitive sibling, changed by any multiplicity bump.
+	countFp uint64
 }
 
 // Set is a counted multiset of symbol sequences: an intern table over the
@@ -45,6 +59,10 @@ type Multiset struct {
 // finished.
 type Set struct {
 	tab *intern.Table
+	// symHash[id] is the string hash of the symbol interned at id, grown
+	// in lockstep with tab so sequence hashes are computed from IDs
+	// without touching strings on the hot path.
+	symHash []uint64
 	Multiset
 }
 
@@ -74,22 +92,37 @@ func (s *Set) AddCount(w []string, n int) {
 	if n <= 0 {
 		return
 	}
+	h := uint64(seqSeed)
 	for _, sym := range w {
-		s.keyBuf = appendID(s.keyBuf, int32(s.tab.Intern(sym)))
+		id := s.internID(sym)
+		s.keyBuf = appendID(s.keyBuf, id)
+		h = (h ^ s.symHash[id]) * fnvPrime64
 	}
-	s.bump(nil, n)
+	s.bump(nil, n, mix64(h))
 }
 
 // Intern returns the ID of sym in s's symbol space, assigning the next
 // free ID on first sight. It lets decoders that stage sequences in a
 // private ID space translate into the Set's space once per distinct
 // symbol, then commit with AddIDs.
-func (s *Set) Intern(sym string) int { return s.tab.Intern(sym) }
+func (s *Set) Intern(sym string) int { return int(s.internID(sym)) }
+
+// internID interns sym and keeps symHash in lockstep with the table, so
+// every ID a caller can hold has its string hash resolved exactly once.
+func (s *Set) internID(sym string) int32 {
+	id := s.tab.Intern(sym)
+	if id == len(s.symHash) {
+		s.symHash = append(s.symHash, hashSym(sym))
+	}
+	return int32(id)
+}
 
 // AddIDs folds n occurrences of a sequence already expressed in the
 // multiset's ID space. n <= 0 is a no-op. The repeat path is
 // allocation-free; the slice is copied on first sight, so callers may
-// reuse ids.
+// reuse ids. A bare Multiset has no symbol strings, so its sequences
+// hash as zero and its fingerprints are meaningless — Set.AddIDs shadows
+// this with the hash-maintaining version.
 func (m *Multiset) AddIDs(ids []int32, n int) {
 	if n <= 0 {
 		return
@@ -100,20 +133,37 @@ func (m *Multiset) AddIDs(ids []int32, n int) {
 	// Passing nil lets bump decode a fresh copy from the key only when the
 	// sequence is new, so the caller keeps ownership of ids and the repeat
 	// path stays allocation-free.
-	m.bump(nil, n)
+	m.bump(nil, n, 0)
+}
+
+// AddIDs folds n occurrences of a sequence expressed in the Set's ID
+// space, maintaining the content fingerprints. Every ID must have come
+// from Intern on this Set.
+func (s *Set) AddIDs(ids []int32, n int) {
+	if n <= 0 {
+		return
+	}
+	h := uint64(seqSeed)
+	for _, id := range ids {
+		s.keyBuf = appendID(s.keyBuf, id)
+		h = (h ^ s.symHash[id]) * fnvPrime64
+	}
+	s.bump(nil, n, mix64(h))
 }
 
 // bump adds n to the sequence encoded in keyBuf, registering it as a new
 // unique sequence when unseen; ids, when non-nil, is used as the stored
 // sequence (bump takes ownership), otherwise the IDs are decoded from the
-// key. keyBuf is left empty so two Sets holding the same multiset compare
+// key. h is the sequence's content hash, folded into the fingerprints.
+// keyBuf is left empty so two Sets holding the same multiset compare
 // equal under reflect.DeepEqual regardless of insertion history.
-func (m *Multiset) bump(ids []int32, n int) {
+func (m *Multiset) bump(ids []int32, n int, h uint64) {
 	if m.index == nil {
 		m.index = map[string]int{}
 	}
 	if i, ok := m.index[string(m.keyBuf)]; ok {
 		m.counts[i] += n
+		m.countFp += m.hashes[i] * uint64(n)
 	} else {
 		if ids == nil {
 			ids = decodeKey(m.keyBuf)
@@ -121,10 +171,60 @@ func (m *Multiset) bump(ids []int32, n int) {
 		m.index[string(m.keyBuf)] = len(m.seqs)
 		m.seqs = append(m.seqs, ids)
 		m.counts = append(m.counts, n)
+		m.hashes = append(m.hashes, h)
+		m.shapeFp ^= h
+		m.countFp += h * uint64(n)
 	}
 	m.total += n
 	m.keyBuf = m.keyBuf[:0]
 }
+
+// Fingerprint hashing. Symbols hash by their strings (FNV-1a), sequences
+// by chaining symbol hashes through the FNV prime and finalizing with a
+// splitmix64-style mixer — so the hash of a sequence depends only on the
+// symbol strings and their order, never on the intern-table ID
+// assignment. That is what makes fingerprints remap-stable: a multiset
+// staged in a worker's private symbol space and merged through a remap
+// fingerprints identically to one built directly.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// seqSeed keeps the empty sequence's hash away from zero so an
+	// element observed only with empty content still fingerprints
+	// distinctly from an element never observed.
+	seqSeed = 0x9e3779b97f4a7c15
+)
+
+func hashSym(sym string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(sym); i++ {
+		h = (h ^ uint64(sym[i])) * fnvPrime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche that
+// spreads chained-FNV outputs across the whole 64-bit space, so XOR and
+// summation over many sequence hashes do not concentrate collisions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShapeFingerprint is an order-insensitive hash of the distinct sequence
+// set: merges that only bump multiplicities of already-seen shapes leave
+// it unchanged. Meaningful only on a Set (or a multiset whose hashes
+// were maintained by one).
+func (m *Multiset) ShapeFingerprint() uint64 { return m.shapeFp }
+
+// CountedFingerprint is ShapeFingerprint's count-sensitive sibling: any
+// multiplicity change moves it. It is incremental (additive mod 2^64) so
+// a bump costs one multiply-add.
+func (m *Multiset) CountedFingerprint() uint64 { return m.countFp }
 
 func appendID(buf []byte, id int32) []byte {
 	return append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
@@ -150,15 +250,17 @@ func decodeKey(key []byte) []int32 {
 // builds a Set byte-identical to sequential ingestion.
 func (s *Set) MergeMultiset(o *Multiset, names *intern.Table, remap *intern.Remap) {
 	for i, seq := range o.seqs {
+		h := uint64(seqSeed)
 		for _, old := range seq {
 			id := remap.Get(old)
 			if id < 0 {
-				id = int32(s.tab.Intern(names.Name(int(old))))
+				id = s.internID(names.Name(int(old)))
 				remap.Set(old, id)
 			}
 			s.keyBuf = appendID(s.keyBuf, id)
+			h = (h ^ s.symHash[id]) * fnvPrime64
 		}
-		s.bump(nil, o.counts[i])
+		s.bump(nil, o.counts[i], mix64(h))
 	}
 }
 

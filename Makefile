@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile incremental-smoke
+.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile incremental-smoke snapshot-smoke
 
 build:
 	$(GO) build ./...
@@ -37,13 +37,20 @@ race:
 incremental-smoke:
 	$(GO) test -run 'TestIncrementalColdWarmIdentical' .
 
-check: fmt-check vet incremental-smoke race
+# snapshot-smoke is the durable-summary gate: save -> load -> infer must
+# stay byte-identical to direct inference, and shard summaries merged in
+# order must reproduce single-corpus ingestion exactly.
+snapshot-smoke:
+	$(GO) test -run 'TestSnapshotSaveLoadInferEquivalence|TestSnapshotShardMergeEquivalence' .
+
+check: fmt-check vet incremental-smoke snapshot-smoke race
 
 # bench records the perf-trajectory workloads (Section 8.3 timings, the
 # end-to-end pipeline at several ingestion worker counts, the isolated
 # sharded-ingestion benchmark at both decoders, the dedup-vs-verbatim
-# sample pipeline comparison, and the cold-vs-warm incremental inference
-# contrast) as BENCH_PR7.json via cmd/benchjson.
+# sample pipeline comparison, the cold-vs-warm incremental inference
+# contrast, and the corpus-summary save/load-vs-reingest contrast) as
+# BENCH_PR8.json via cmd/benchjson.
 #
 # The ingestion benchmarks run over a generated corpus of BENCH_MB
 # megabytes (default 100) so worker counts are measured against a
@@ -53,10 +60,10 @@ check: fmt-check vet incremental-smoke race
 # invisible. On a single-CPU machine, set GOMAXPROCS explicitly (e.g.
 # GOMAXPROCS=4) to record an oversubscribed run — the per-entry
 # gomaxprocs/cpus metrics keep it honest.
-BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDecoder|BenchmarkIngestDedup|BenchmarkIncrementalInfer
+BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDecoder|BenchmarkIngestDedup|BenchmarkIncrementalInfer|BenchmarkSnapshot
 BENCH_COUNT ?= 3x
 BENCH_MB ?= 100
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 
 bench:
 	@gmp="$${GOMAXPROCS:-$$(nproc)}"; \
@@ -91,6 +98,7 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/dtd
 	$(GO) test -run xxx -fuzz FuzzExtraction -fuzztime $(FUZZTIME) ./internal/dtd
+	$(GO) test -run xxx -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/dtd
 	$(GO) test -run xxx -fuzz FuzzTokenizerEquivalence -fuzztime $(FUZZTIME) ./internal/dtd
 	$(GO) test -run xxx -fuzz FuzzStreamEquivalence -fuzztime $(FUZZTIME) ./internal/xmltok
 	$(GO) test -run xxx -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/sample

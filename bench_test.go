@@ -9,6 +9,7 @@ package dtdinfer
 // short; cmd/experiments reproduces the full 200-trial curves.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -480,4 +481,68 @@ func BenchmarkAblationRepairPolicy(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSnapshotSave and BenchmarkSnapshotLoad measure durable corpus
+// summaries against the work they replace. Save serializes the in-memory
+// summary; load deserializes and revalidates it; "reingest" is the cost
+// of rebuilding the same extraction from the raw documents, which is
+// what a process restart pays without a snapshot. The summary-bytes
+// metric against corpus-bytes shows the compression a summary achieves
+// over the corpus it stands in for.
+func BenchmarkSnapshotSave(b *testing.B) {
+	docs, docBytes := corpusDocs(400)
+	x := NewExtraction()
+	if _, err := x.AddDocuments(docs(), nil, dtd.FailFast); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(x, &buf); err != nil {
+		b.Fatal(err)
+	}
+	summaryBytes := buf.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteCorpus(x, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(docBytes), "corpus-bytes")
+	b.ReportMetric(float64(summaryBytes), "summary-bytes")
+}
+
+func BenchmarkSnapshotLoad(b *testing.B) {
+	docs, docBytes := corpusDocs(400)
+	x := NewExtraction()
+	if _, err := x.AddDocuments(docs(), nil, dtd.FailFast); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(x, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	b.Run("load", func(b *testing.B) {
+		b.ReportMetric(float64(docBytes), "corpus-bytes")
+		b.ReportMetric(float64(len(data)), "summary-bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadCorpus(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The baseline a load replaces: re-parsing every document. The
+	// acceptance bar for this PR is load ≥ 10x faster than reingest at
+	// BENCH_MB=100.
+	b.Run("reingest", func(b *testing.B) {
+		b.ReportMetric(float64(docBytes), "corpus-bytes")
+		for i := 0; i < b.N; i++ {
+			y := NewExtraction()
+			if _, err := y.AddDocuments(docs(), nil, dtd.FailFast); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

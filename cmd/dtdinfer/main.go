@@ -8,10 +8,20 @@
 //	         [-max-depth N] [-max-tokens N] [-max-names N] [-max-bytes N]
 //	         [-timeout D] [-max-soa-states N] [-max-expr-size N]
 //	         [-degrade ladder|fail]
+//	         [-save-corpus FILE] [-load-corpus FILE] [-no-infer]
 //	         file.xml [file2.xml ...]
 //
 // With no files, one document is read from standard input. The default
 // algorithm is iDTD; use -algo crx when only a few documents are available.
+//
+// Corpus summaries: -save-corpus writes the ingested corpus summary —
+// counted samples, statistics, and (after inference) the memoized content
+// models — to FILE; -load-corpus starts from such a summary instead of an
+// empty corpus, ingesting any named documents on top (stdin is not read),
+// so repeated runs over a growing corpus re-parse only the new documents
+// and replay cached models for unchanged elements. -no-infer skips
+// inference, for summarize-only shards; cmd/dtdmerge merges shard
+// summaries and infers once.
 //
 // Ingestion is failure-atomic per document. By default a malformed document
 // aborts the run (fail-fast); with -skip-malformed it is recorded, skipped,
@@ -67,6 +77,9 @@ func main() {
 	maxSOAStates := flag.Int("max-soa-states", 0, "cap the automaton states an engine may process per element (0 = unlimited)")
 	maxExprSize := flag.Int("max-expr-size", 0, "cap the token count of an inferred content model (0 = unlimited)")
 	degrade := flag.String("degrade", "ladder", "on engine failure or exceeded budget: ladder (fall back to crx, then (a1|...|an)*) or fail")
+	saveCorpus := flag.String("save-corpus", "", "write the corpus summary (samples, statistics, cached models) to FILE after ingestion")
+	loadCorpus := flag.String("load-corpus", "", "start from the corpus summary in FILE instead of an empty corpus; named documents are ingested on top")
+	noInfer := flag.Bool("no-infer", false, "skip inference and print nothing; use with -save-corpus to only summarize")
 	flag.Parse()
 
 	algo, err := core.ParseAlgorithm(*algoName)
@@ -116,6 +129,9 @@ func main() {
 	}
 
 	if *contextK > 0 {
+		if *loadCorpus != "" || *saveCorpus != "" {
+			fatal(fmt.Errorf("-load-corpus/-save-corpus apply to DTD corpora; they cannot be combined with -context"))
+		}
 		runContextual(*contextK, algo, opts, *format, ingest, policy, *stats)
 		return
 	}
@@ -126,9 +142,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	docs := openDocs()
-	defer closeDocs(docs)
+	// With -load-corpus, the named files (possibly none) are ingested on
+	// top of the loaded summary; stdin is only the implicit input when
+	// starting from an empty corpus.
+	var docs []dtd.Doc
 	x := dtd.NewExtraction()
+	if *loadCorpus != "" {
+		if x, err = core.LoadCorpus(*loadCorpus); err != nil {
+			fatal(err)
+		}
+		docs = openFileDocs()
+	} else {
+		docs = openDocs()
+	}
+	defer closeDocs(docs)
 	report, err := x.AddDocsParallelContext(ctx, docs, opts.Parallelism, ingest, policy)
 	if err != nil {
 		if *stats {
@@ -136,7 +163,24 @@ func main() {
 		}
 		fatal(err)
 	}
+	save := func() {
+		if *saveCorpus != "" {
+			if err := core.SaveCorpus(x, *saveCorpus); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *noInfer {
+		save()
+		if *stats {
+			fmt.Fprintln(os.Stderr, report)
+		}
+		return
+	}
 	d, inferStats, err := core.InferDTDFromExtractionContext(ctx, x, algo, opts)
+	// Saved after inference, so the summary carries the memoized content
+	// models and a later -load-corpus run starts warm.
+	save()
 	if *stats {
 		fmt.Fprintln(os.Stderr, report)
 		if inferStats != nil {
@@ -161,6 +205,11 @@ func openDocs() []dtd.Doc {
 	if flag.NArg() == 0 {
 		return []dtd.Doc{{Label: "stdin", R: os.Stdin}}
 	}
+	return openFileDocs()
+}
+
+// openFileDocs opens exactly the named files — no stdin fallback.
+func openFileDocs() []dtd.Doc {
 	docs := make([]dtd.Doc, 0, flag.NArg())
 	for _, name := range flag.Args() {
 		f, err := os.Open(name)

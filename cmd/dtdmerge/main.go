@@ -1,0 +1,117 @@
+// Command dtdmerge merges corpus summaries written by dtdinfer
+// -save-corpus and infers a DTD (or XML Schema) over the union — the
+// reduce side of a map-reduce over a sharded corpus:
+//
+//	dtdmerge [-algo idtd|crx|xtract|trang|stateelim] [-format dtd|xsd]
+//	         [-numeric] [-noise N] [-stats]
+//	         [-timeout D] [-max-soa-states N] [-max-expr-size N]
+//	         [-degrade ladder|fail]
+//	         [-o FILE] [-no-infer]
+//	         shard1.corpus shard2.corpus [...]
+//
+// Each shard summary is the output of an independent dtdinfer
+// -save-corpus run over a slice of the documents (on any machine: the
+// format is byte-order independent). Merging is exact, not approximate —
+// inference over the merged summary is byte-identical to single-machine
+// inference over all the documents at once. -o additionally writes the
+// merged summary back out as a corpus file; -no-infer skips inference,
+// for building merge trees. Cached content models carried by the shards
+// are adopted where compatible and revalidated by content fingerprint
+// before use, so they can only speed inference up, never change it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/xsd"
+)
+
+func main() {
+	algoName := flag.String("algo", "idtd", "inference algorithm: "+core.AlgorithmList())
+	format := flag.String("format", "dtd", "output format: dtd or xsd")
+	numeric := flag.Bool("numeric", false, "refine repetitions to {m,n} bounds from the data (Section 9)")
+	noise := flag.Int("noise", 0, "iDTD noise threshold: drop edges supported by at most N strings when stuck")
+	stats := flag.Bool("stats", false, "print per-element inference timings to stderr")
+	timeout := flag.Duration("timeout", 0, "cap each element's inference wall clock (0 = unlimited)")
+	maxSOAStates := flag.Int("max-soa-states", 0, "cap the automaton states an engine may process per element (0 = unlimited)")
+	maxExprSize := flag.Int("max-expr-size", 0, "cap the token count of an inferred content model (0 = unlimited)")
+	degrade := flag.String("degrade", "ladder", "on engine failure or exceeded budget: ladder (fall back to crx, then (a1|...|an)*) or fail")
+	out := flag.String("o", "", "write the merged corpus summary to FILE")
+	noInfer := flag.Bool("no-infer", false, "skip inference and print nothing; use with -o to only merge")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fatal(fmt.Errorf("no corpus summaries named (write them with dtdinfer -save-corpus)"))
+	}
+	algo, err := core.ParseAlgorithm(*algoName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := &core.Options{NumericPredicates: *numeric}
+	opts.IDTD.NoiseThreshold = *noise
+	opts.Budget = core.Budget{
+		Deadline:     *timeout,
+		MaxSOAStates: *maxSOAStates,
+		MaxExprSize:  *maxExprSize,
+	}
+	switch *degrade {
+	case "ladder":
+		opts.Degrade = core.DegradeLadder
+	case "fail":
+		opts.Degrade = core.DegradeFail
+	default:
+		fatal(fmt.Errorf("unknown -degrade mode %q (want ladder or fail)", *degrade))
+	}
+
+	// Shards merge in argument order. Summary merge is commutative up to
+	// symbol numbering, and the snapshot's canonical encoding plus the
+	// deterministic merge make any fixed order reproduce single-corpus
+	// ingestion byte-identically.
+	x, err := core.LoadCorpus(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range flag.Args()[1:] {
+		shard, err := core.LoadCorpus(name)
+		if err != nil {
+			fatal(err)
+		}
+		x.MergeSummary(shard)
+	}
+	if *out != "" {
+		if err := core.SaveCorpus(x, *out); err != nil {
+			fatal(err)
+		}
+	}
+	if *noInfer {
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	d, inferStats, err := core.InferDTDFromExtractionContext(ctx, x, algo, opts)
+	if *stats && inferStats != nil {
+		fmt.Fprintln(os.Stderr, inferStats)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	switch *format {
+	case "dtd":
+		fmt.Println(d)
+	case "xsd":
+		fmt.Print(xsd.Generate(d, x.TextSamples))
+	default:
+		fatal(fmt.Errorf("unknown format %q (want dtd or xsd)", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtdmerge:", err)
+	os.Exit(1)
+}

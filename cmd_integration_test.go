@@ -5,6 +5,7 @@ package dtdinfer
 // including failure exit codes.
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -26,7 +27,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"dtdinfer", "dtdvalidate", "dtddiff", "xmlgen", "experiments"} {
+		for _, tool := range []string{"dtdinfer", "dtdmerge", "dtdvalidate", "dtddiff", "xmlgen", "experiments"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
@@ -292,5 +293,104 @@ func TestCLIDtdinferStatsCacheLine(t *testing.T) {
 	}
 	if !strings.Contains(out, "cache:") || !strings.Contains(out, "dirty elements") {
 		t.Errorf("stats output missing cache counters:\n%s", out)
+	}
+}
+
+// TestCLICorpusSaveLoad: -save-corpus then -load-corpus reproduces the
+// direct run's DTD exactly, and a load-only run reads nothing from stdin.
+func TestCLICorpusSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	d1 := writeFile(t, dir, "d1.xml", `<db><rec id="a1"><name>n</name></rec></db>`)
+	d2 := writeFile(t, dir, "d2.xml", `<db><rec id="a2"><name>n</name><name>m</name></rec></db>`)
+	corpus := filepath.Join(dir, "all.corpus")
+
+	want, code := runTool(t, "dtdinfer", "", d1, d2)
+	if code != 0 {
+		t.Fatalf("direct run exit %d:\n%s", code, want)
+	}
+	if out, code := runTool(t, "dtdinfer", "", "-save-corpus", corpus, "-no-infer", d1, d2); code != 0 {
+		t.Fatalf("save exit %d:\n%s", code, out)
+	}
+	// Stdin deliberately holds a document that would change the DTD; a
+	// load-only run must ignore it.
+	got, code := runTool(t, "dtdinfer", `<other/>`, "-load-corpus", corpus)
+	if code != 0 {
+		t.Fatalf("load exit %d:\n%s", code, got)
+	}
+	if got != want {
+		t.Errorf("load-corpus run differs from direct run:\n got %s\nwant %s", got, want)
+	}
+
+	// Incremental top-up: loading the d1-only summary and ingesting d2
+	// matches the direct two-document run.
+	half := filepath.Join(dir, "half.corpus")
+	if out, code := runTool(t, "dtdinfer", "", "-save-corpus", half, "-no-infer", d1); code != 0 {
+		t.Fatalf("save half exit %d:\n%s", code, out)
+	}
+	got, code = runTool(t, "dtdinfer", "", "-load-corpus", half, d2)
+	if code != 0 {
+		t.Fatalf("incremental exit %d:\n%s", code, got)
+	}
+	if got != want {
+		t.Errorf("load+ingest differs from direct run:\n got %s\nwant %s", got, want)
+	}
+
+	if out, code := runTool(t, "dtdinfer", "", "-context", "1", "-save-corpus", corpus, d1); code == 0 {
+		t.Errorf("-context with -save-corpus accepted:\n%s", out)
+	}
+	if out, code := runTool(t, "dtdinfer", "", "-load-corpus", filepath.Join(dir, "missing.corpus")); code == 0 {
+		t.Errorf("missing corpus file accepted:\n%s", out)
+	}
+	garbage := writeFile(t, dir, "garbage.corpus", "DTDS\x01 not a snapshot")
+	if out, code := runTool(t, "dtdinfer", "", "-load-corpus", garbage); code == 0 {
+		t.Errorf("corrupt corpus accepted:\n%s", out)
+	}
+}
+
+// TestCLIDtdmerge: shard summaries merged by dtdmerge infer the same DTD
+// as a single run over all documents, and -o round-trips the merge.
+func TestCLIDtdmerge(t *testing.T) {
+	dir := t.TempDir()
+	docs := []string{
+		`<db><rec id="a1" kind="x"><name>n</name></rec></db>`,
+		`<db><rec id="a2" kind="y"><name>n</name><name>m</name></rec></db>`,
+		`<db><note>t <b>b</b></note></db>`,
+	}
+	var files, shards []string
+	for i, doc := range docs {
+		f := writeFile(t, dir, fmt.Sprintf("d%d.xml", i), doc)
+		files = append(files, f)
+		shard := filepath.Join(dir, fmt.Sprintf("s%d.corpus", i))
+		if out, code := runTool(t, "dtdinfer", "", "-save-corpus", shard, "-no-infer", f); code != 0 {
+			t.Fatalf("shard %d exit %d:\n%s", i, code, out)
+		}
+		shards = append(shards, shard)
+	}
+	want, code := runTool(t, "dtdinfer", "", files...)
+	if code != 0 {
+		t.Fatalf("direct run exit %d:\n%s", code, want)
+	}
+	got, code := runTool(t, "dtdmerge", "", shards...)
+	if code != 0 {
+		t.Fatalf("dtdmerge exit %d:\n%s", code, got)
+	}
+	if got != want {
+		t.Errorf("dtdmerge DTD differs from single-run DTD:\n got %s\nwant %s", got, want)
+	}
+
+	merged := filepath.Join(dir, "merged.corpus")
+	if out, code := runTool(t, "dtdmerge", "", append([]string{"-o", merged, "-no-infer"}, shards...)...); code != 0 {
+		t.Fatalf("merge -o exit %d:\n%s", code, out)
+	}
+	got, code = runTool(t, "dtdinfer", "", "-load-corpus", merged)
+	if code != 0 {
+		t.Fatalf("load merged exit %d:\n%s", code, got)
+	}
+	if got != want {
+		t.Errorf("merged summary infers differently:\n got %s\nwant %s", got, want)
+	}
+
+	if out, code := runTool(t, "dtdmerge", ""); code == 0 {
+		t.Errorf("dtdmerge with no arguments accepted:\n%s", out)
 	}
 }

@@ -252,6 +252,27 @@ func NewIncremental(algo Algorithm, opts *Options) *Incremental {
 // element as added.
 func ChangeFeed(prev, next *Snapshot) string { return core.ChangeFeed(prev, next) }
 
+// SaveCorpus writes the extraction's corpus summary — counted samples,
+// text and attribute statistics, and incremental-inference state — to
+// path atomically (temp file + rename). A summary is typically kilobytes
+// regardless of corpus size, loads in time proportional to its own size,
+// and infers byte-identically to the extraction it was saved from.
+func SaveCorpus(x *Extraction, path string) error { return core.SaveCorpus(x, path) }
+
+// LoadCorpus reads a corpus summary written by SaveCorpus. The bytes are
+// validated as untrusted input: corruption yields an error, never a
+// panic. The loaded extraction accepts further documents, merges with
+// other summaries via MergeSummary, and replays any cached content
+// models it was saved with.
+func LoadCorpus(path string) (*Extraction, error) { return core.LoadCorpus(path) }
+
+// WriteCorpus and ReadCorpus are the io.Writer/io.Reader forms of
+// SaveCorpus and LoadCorpus.
+func WriteCorpus(x *Extraction, w io.Writer) error { return core.WriteCorpus(x, w) }
+
+// ReadCorpus reads a corpus summary from r; see WriteCorpus.
+func ReadCorpus(r io.Reader) (*Extraction, error) { return core.ReadCorpus(r) }
+
 // InferXSD infers a schema and renders it as W3C XML Schema with datatype
 // detection over the sampled text values.
 func InferXSD(docs []io.Reader, algo Algorithm, opts *Options) (string, error) {

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"dtdinfer/internal/dtd"
+)
+
+// Durable corpus summaries. A corpus summary is everything inference
+// needs and nothing it does not: the counted sequence samples, text and
+// attribute statistics, root counts, and the incremental-inference state
+// (dirty set, memoized content models, memoized <!ATTLIST> declarations).
+// The documents themselves are gone — a summary of a multi-gigabyte
+// corpus is typically kilobytes — yet inference over a loaded summary is
+// byte-identical to inference over the original extraction, and a warm
+// summary replays its cached models without running any engine.
+//
+// Summaries merge: extractions built from disjoint document shards (on
+// different machines, in different processes) can each be saved, then
+// combined with dtd.(*Extraction).MergeSummary into a summary equivalent
+// to single-machine ingestion. cmd/dtdmerge is the CLI face of that
+// map-reduce shape.
+
+// SaveCorpus writes the extraction's corpus summary to path atomically:
+// the snapshot is written to a temporary file in the same directory and
+// renamed into place only after a successful sync, so a crash mid-write
+// never leaves a truncated summary under the target name.
+func SaveCorpus(x *dtd.Extraction, path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".corpus-*.tmp")
+	if err != nil {
+		return fmt.Errorf("core: saving corpus: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := x.WriteSnapshot(bw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving corpus to %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving corpus to %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving corpus to %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: saving corpus to %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: saving corpus: %w", err)
+	}
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// LoadCorpus reads a corpus summary previously written by SaveCorpus
+// (or WriteCorpus). The bytes are treated as untrusted: framing, field
+// ranges, canonical ordering and content fingerprints are all validated,
+// and corruption yields an error, never a panic. Loading costs O(size of
+// the summary) — independent of the size of the corpus it summarizes.
+func LoadCorpus(path string) (*dtd.Extraction, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading corpus: %w", err)
+	}
+	defer f.Close()
+	x, err := dtd.ReadSnapshot(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("core: loading corpus from %s: %w", path, err)
+	}
+	return x, nil
+}
+
+// WriteCorpus streams the extraction's corpus summary to w — the
+// io.Writer form of SaveCorpus for callers that own the destination
+// (sockets, object stores, pipelines).
+func WriteCorpus(x *dtd.Extraction, w io.Writer) error {
+	if err := x.WriteSnapshot(w); err != nil {
+		return fmt.Errorf("core: writing corpus: %w", err)
+	}
+	return nil
+}
+
+// ReadCorpus is the io.Reader form of LoadCorpus.
+func ReadCorpus(r io.Reader) (*dtd.Extraction, error) {
+	x, err := dtd.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading corpus: %w", err)
+	}
+	return x, nil
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"dtdinfer/internal/sample"
 )
 
 // Attribute inference extends the paper's element-content inference to
@@ -114,6 +116,143 @@ const (
 	// maxEnumValues bounds enumeration size.
 	maxEnumValues = 8
 )
+
+// Attribute-statistics fingerprints: the <!ATTLIST> sibling of the
+// per-element sample fingerprints (sample.Multiset), letting cached
+// inference passes skip attribute inference entirely when nothing
+// attribute-relevant changed. Because attribute classification is
+// cross-element — IDREF detection consults every element's ID value
+// pools, and #REQUIRED compares presence counts against the element's
+// occurrence total — the cached unit is the whole <!ATTLIST> pass under
+// one global fingerprint, not a per-element entry.
+//
+// The per-element fingerprint is a pure function of the accumulated
+// state: for each attribute, present·H_p + overflow·H_ov + Σ_v
+// count(v)·H_v over its kept values, summed mod 2^64. Every mutation
+// path (recordAttribute, mergeAttStats, commitAttr) adds exactly the
+// delta it applies, so extractions reaching equal attribute state
+// through different merge histories agree — the same remap-stability
+// argument the sequence fingerprints make — and a snapshot decoder can
+// recompute the fingerprint from the restored stats.
+const (
+	attPresentSeed  = 0x71c9d3a4b8e6f215
+	attOverflowSeed = 0x2b7e151628aed2a6
+	attValueSeed    = 0x452821e638d01377
+)
+
+// attNameHashes returns the three derived hashes of one attribute name:
+// the presence, overflow and value-combining bases. One string hash,
+// three cheap mixes.
+func attNameHashes(att string) (hp, hov, hval uint64) {
+	base := sample.HashString(att)
+	return sample.Mix64(base ^ attPresentSeed), sample.Mix64(base ^ attOverflowSeed), base ^ attValueSeed
+}
+
+// attValueHash combines an attribute's value-base hash with one value.
+func attValueHash(hval uint64, v string) uint64 {
+	return sample.Mix64(hval ^ sample.HashString(v))
+}
+
+// attFpAdd folds a state delta into an element's attribute fingerprint.
+func (x *Extraction) attFpAdd(elem string, h uint64, n int) {
+	if x.attFp == nil {
+		x.attFp = map[string]uint64{}
+	}
+	x.attFp[elem] += h * uint64(n)
+}
+
+// attStatsFingerprint computes one attribute's fingerprint contribution
+// from its accumulated state — the closed form of the incremental
+// maintenance, used by the snapshot decoder to rebuild fingerprints
+// from restored statistics.
+func attStatsFingerprint(att string, st *attStats) uint64 {
+	hp, hov, hval := attNameHashes(att)
+	fp := hp * uint64(st.present)
+	if st.overflow {
+		fp += hov
+	}
+	for v, n := range st.values {
+		fp += attValueHash(hval, v) * uint64(n)
+	}
+	return fp
+}
+
+// attGlobalFp condenses everything the <!ATTLIST> pass can observe into
+// one value: each attributed element contributes a mix of its name
+// hash, its attribute-state fingerprint, and its occurrence total (the
+// #REQUIRED denominator). Elements with no attribute statistics cannot
+// influence attribute inference and are excluded, so ingesting
+// attribute-free documents does not invalidate the cache. O(#attributed
+// elements) per inference pass.
+func (x *Extraction) attGlobalFp() uint64 {
+	var g uint64
+	for elem := range x.Attributes {
+		total := 0
+		if s := x.Sequences[elem]; s != nil {
+			total = s.Total()
+		}
+		term := sample.HashString(elem)
+		term = sample.Mix64(term ^ x.attFp[elem])
+		term = sample.Mix64(term ^ uint64(total))
+		g += term
+	}
+	return g
+}
+
+// attDecl is one replayable <!ATTLIST> declaration.
+type attDecl struct {
+	elem string
+	a    *Attribute
+}
+
+// attListCache memoizes one complete <!ATTLIST> pass: the global
+// attribute fingerprint it was computed under and the declarations it
+// produced, in declaration order. Attributes replay pointer-shared —
+// DTD values are immutable by convention, exactly like cached content
+// models.
+type attListCache struct {
+	fp    uint64
+	decls []attDecl
+}
+
+// inferAttributesCached is inferAttributes behind the global attribute
+// fingerprint: when the fingerprint matches the cached pass, the
+// declarations replay without re-running classification (no ID-pool
+// rebuild, no per-value scans). It reports whether the pass was
+// replayed, for InferStats observability.
+func (x *Extraction) inferAttributesCached(d *DTD) bool {
+	fp := x.attGlobalFp()
+	if c := x.attCache; c != nil && c.fp == fp {
+		for _, de := range c.decls {
+			if d.Elements[de.elem] == nil {
+				continue // same defensive skip as inferAttributes
+			}
+			d.DeclareAttribute(de.elem, de.a)
+		}
+		return true
+	}
+	x.inferAttributes(d)
+	decls := harvestAttDecls(d)
+	x.attCache = &attListCache{fp: fp, decls: decls}
+	return false
+}
+
+// harvestAttDecls collects the declarations a fresh inference pass put
+// on d, in deterministic element order, for replay by later passes.
+func harvestAttDecls(d *DTD) []attDecl {
+	var decls []attDecl
+	names := make([]string, 0, len(d.Elements))
+	for n := range d.Elements {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, a := range d.Elements[n].Attributes {
+			decls = append(decls, attDecl{elem: n, a: a})
+		}
+	}
+	return decls
+}
 
 // inferAttributes converts accumulated statistics into declarations on d.
 func (x *Extraction) inferAttributes(d *DTD) {

@@ -59,6 +59,13 @@ type Extraction struct {
 	// cache memoizes inferred content models per (element, engine config,
 	// fingerprint); see InferDTDElementsCached. Lazily allocated.
 	cache *modelCache
+	// attFp holds each element's attribute-statistics fingerprint, the
+	// incremental mirror of attStatsFingerprint over its attributes;
+	// attCache memoizes the last complete <!ATTLIST> pass under the
+	// global fingerprint derived from attFp (see attributes.go). Both
+	// lazily allocated.
+	attFp    map[string]uint64
+	attCache *attListCache
 }
 
 const maxTextSamples = 100
@@ -245,7 +252,9 @@ func (x *Extraction) DirtyElements() []string {
 	return names
 }
 
-// recordAttribute folds one observed attribute value into the statistics.
+// recordAttribute folds one observed attribute value into the
+// statistics, mirroring every state change into the element's attribute
+// fingerprint.
 func (x *Extraction) recordAttribute(element, attribute, value string) {
 	atts := x.Attributes[element]
 	if atts == nil {
@@ -257,12 +266,18 @@ func (x *Extraction) recordAttribute(element, attribute, value string) {
 		st = &attStats{values: map[string]int{}}
 		atts[attribute] = st
 	}
+	hp, hov, hval := attNameHashes(attribute)
 	st.present++
+	x.attFpAdd(element, hp, 1)
 	if _, seen := st.values[value]; !seen && len(st.values) >= maxAttValues {
-		st.overflow = true
+		if !st.overflow {
+			st.overflow = true
+			x.attFpAdd(element, hov, 1)
+		}
 		return
 	}
 	st.values[value]++
+	x.attFpAdd(element, attValueHash(hval, value), 1)
 }
 
 // sampleOf returns the element's counted sample, creating it on first use.

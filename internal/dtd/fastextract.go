@@ -528,9 +528,12 @@ func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) 
 		atts[a.name] = st
 		target.markDirty(elem)
 	}
+	hp, hov, hval := attNameHashes(a.name)
 	st.present += a.present
+	target.attFpAdd(elem, hp, a.present)
 	if a.overflow && !st.overflow {
 		st.overflow = true
+		target.attFpAdd(elem, hov, 1)
 		target.markDirty(elem)
 	}
 	for _, vc := range a.vals {
@@ -538,6 +541,7 @@ func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) 
 			if len(st.values) >= maxAttValues {
 				if !st.overflow {
 					st.overflow = true
+					target.attFpAdd(elem, hov, 1)
 					target.markDirty(elem)
 				}
 				continue
@@ -545,6 +549,7 @@ func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) 
 			target.markDirty(elem)
 		}
 		st.values[vc.v] += vc.n
+		target.attFpAdd(elem, attValueHash(hval, vc.v), vc.n)
 	}
 }
 

@@ -190,9 +190,11 @@ func (x *Extraction) InferDTDElementsCached(ctx context.Context, cfg *CacheConfi
 		}
 		d.Declare(e)
 	}
-	x.inferAttributes(d)
 	if cfg != nil {
+		stats.AttListReplayed = x.inferAttributesCached(d)
 		clear(x.dirty)
+	} else {
+		x.inferAttributes(d)
 	}
 	return d, stats, nil
 }

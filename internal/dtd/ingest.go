@@ -361,7 +361,9 @@ func (x *Extraction) reset() {
 	clear(x.Attributes)
 	clear(x.Roots)
 	clear(x.dirty)
+	clear(x.attFp)
 	x.cache = nil
+	x.attCache = nil
 	x.Documents = 0
 }
 
@@ -436,9 +438,12 @@ func (x *Extraction) mergeAttStats(elem, att string, o *attStats) {
 		atts[att] = st
 		x.markDirty(elem)
 	}
+	hp, hov, hval := attNameHashes(att)
 	st.present += o.present
+	x.attFpAdd(elem, hp, o.present)
 	if o.overflow && !st.overflow {
 		st.overflow = true
+		x.attFpAdd(elem, hov, 1)
 		x.markDirty(elem)
 	}
 	for v, n := range o.values {
@@ -446,6 +451,7 @@ func (x *Extraction) mergeAttStats(elem, att string, o *attStats) {
 			if len(st.values) >= maxAttValues {
 				if !st.overflow {
 					st.overflow = true
+					x.attFpAdd(elem, hov, 1)
 					x.markDirty(elem)
 				}
 				continue
@@ -453,6 +459,7 @@ func (x *Extraction) mergeAttStats(elem, att string, o *attStats) {
 			x.markDirty(elem)
 		}
 		st.values[v] += n
+		x.attFpAdd(elem, attValueHash(hval, v), n)
 	}
 }
 
@@ -481,6 +488,11 @@ type InferStats struct {
 	// changed since the previous cached pass, captured before this pass
 	// cleared the bits.
 	Dirty int
+	// AttListReplayed reports (for cached passes) whether <!ATTLIST>
+	// inference was replayed from the attribute-fingerprint cache
+	// instead of recomputed — true on a warm pass with no attribute-
+	// relevant changes since the previous one.
+	AttListReplayed bool
 }
 
 // ElementTiming is one element's inference cost.
@@ -505,8 +517,12 @@ func (s *InferStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "inferred %d elements in %v", len(order), s.Wall)
 	if s.Cached {
-		fmt.Fprintf(&b, "\n  cache: %d hits, %d misses, %d recomputes; %d dirty elements",
-			s.CacheHits, s.CacheMisses, s.CacheRecomputes, s.Dirty)
+		attlist := "recomputed"
+		if s.AttListReplayed {
+			attlist = "replayed"
+		}
+		fmt.Fprintf(&b, "\n  cache: %d hits, %d misses, %d recomputes; %d dirty elements; attlist %s",
+			s.CacheHits, s.CacheMisses, s.CacheRecomputes, s.Dirty, attlist)
 	}
 	for _, t := range order {
 		fmt.Fprintf(&b, "\n  %-24s %8d seqs  %v", t.Name, t.Sequences, t.Duration)

@@ -2,6 +2,7 @@ package intern
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 )
@@ -143,5 +144,54 @@ func TestTableResetKeepsStorageEmptiesContent(t *testing.T) {
 	}
 	if id := tab.Intern("c"); id != 0 {
 		t.Errorf("first Intern after Reset = %d, want 0", id)
+	}
+}
+
+// TestNamesExportImportRoundTrip pins the serialization boundary: a
+// table rebuilt from its dense-ID export is indistinguishable from the
+// original, including every ID assignment and the next-free-ID.
+func TestNamesExportImportRoundTrip(t *testing.T) {
+	tab := NewTable()
+	for _, s := range []string{"beta", "alpha", "gamma", "alpha", "delta"} {
+		tab.Intern(s)
+	}
+	names := tab.Names()
+	want := []string{"beta", "alpha", "gamma", "delta"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	// The export is a copy: mutating it must not touch the table.
+	names[0] = "mutated"
+	if tab.Name(0) != "beta" {
+		t.Fatal("Names export aliases table storage")
+	}
+	got, err := NewTableFromNames(tab.Names())
+	if err != nil {
+		t.Fatalf("NewTableFromNames: %v", err)
+	}
+	if !reflect.DeepEqual(got, tab) {
+		t.Fatalf("imported table differs from original")
+	}
+	if id := got.Intern("epsilon"); id != 4 {
+		t.Fatalf("next ID after import = %d, want 4", id)
+	}
+}
+
+func TestNewTableFromNamesRejectsDuplicates(t *testing.T) {
+	if _, err := NewTableFromNames([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestNewTableFromNamesEmpty(t *testing.T) {
+	tab, err := NewTableFromNames(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tab.Len())
+	}
+	if id := tab.Intern("first"); id != 0 {
+		t.Fatalf("first Intern = %d, want 0", id)
 	}
 }

@@ -12,6 +12,7 @@
 package sample
 
 import (
+	"fmt"
 	"sort"
 
 	"dtdinfer/internal/intern"
@@ -69,6 +70,28 @@ type Set struct {
 // New returns an empty Set.
 func New() *Set {
 	return &Set{tab: intern.NewTable(), Multiset: Multiset{index: map[string]int{}}}
+}
+
+// ImportSymbols builds an empty Set whose symbol table is pre-seeded
+// with the given names in dense-ID order — the import half of the
+// serialization boundary. Rebuilding a snapshotted Set is ImportSymbols
+// with the exported SymbolList, then AddIDsChecked per unique sequence:
+// because the symbol hashes are recomputed from the imported strings and
+// the sequence hashes from those, the rebuilt fingerprints are derived
+// entirely from content, so a decoder can revalidate them against the
+// stored ones to detect corrupt or tampered sequence data. A duplicate
+// name (impossible in a real export) is rejected.
+func ImportSymbols(symbols []string) (*Set, error) {
+	tab, err := intern.NewTableFromNames(symbols)
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{tab: tab, Multiset: Multiset{index: map[string]int{}}}
+	s.symHash = make([]uint64, len(symbols))
+	for id, sym := range symbols {
+		s.symHash[id] = hashSym(sym)
+	}
+	return s, nil
 }
 
 // FromStrings builds a Set from a verbatim sample, interning symbols in
@@ -151,6 +174,24 @@ func (s *Set) AddIDs(ids []int32, n int) {
 	s.bump(nil, n, mix64(h))
 }
 
+// AddIDsChecked is AddIDs for untrusted input: every ID must be in the
+// Set's assigned range and n must be positive, otherwise the sequence is
+// rejected with an error and the Set is left unchanged. Snapshot
+// decoders use it so a corrupt ID stream surfaces as an error instead of
+// an out-of-range panic on the unchecked hot path.
+func (s *Set) AddIDsChecked(ids []int32, n int) error {
+	if n < 1 {
+		return fmt.Errorf("sample: sequence multiplicity %d is not positive", n)
+	}
+	for _, id := range ids {
+		if id < 0 || int(id) >= len(s.symHash) {
+			return fmt.Errorf("sample: symbol ID %d out of range [0, %d)", id, len(s.symHash))
+		}
+	}
+	s.AddIDs(ids, n)
+	return nil
+}
+
 // bump adds n to the sequence encoded in keyBuf, registering it as a new
 // unique sequence when unseen; ids, when non-nil, is used as the stored
 // sequence (bump takes ownership), otherwise the IDs are decoded from the
@@ -202,6 +243,17 @@ func hashSym(sym string) uint64 {
 	}
 	return mix64(h)
 }
+
+// HashString exposes the symbol content hash (FNV-1a finalized with
+// Mix64) so sibling fingerprints — the attribute-statistics fingerprint
+// in the dtd layer — hash strings the same way the sequence
+// fingerprints do, keeping every fingerprint in the system remap- and
+// process-stable for the same content.
+func HashString(s string) uint64 { return hashSym(s) }
+
+// Mix64 exposes the splitmix64 finalizer for callers combining several
+// content hashes into one derived fingerprint.
+func Mix64(x uint64) uint64 { return mix64(x) }
 
 // mix64 is the splitmix64 finalizer: a cheap bijective avalanche that
 // spreads chained-FNV outputs across the whole 64-bit space, so XOR and
@@ -302,6 +354,11 @@ func (s *Set) Name(id int) string { return s.tab.Name(id) }
 // table only ever interns symbols that occur in added sequences, a
 // successful lookup means the symbol occurs in the sample.
 func (s *Set) Lookup(sym string) (int, bool) { return s.tab.Lookup(sym) }
+
+// SymbolList returns the symbols in dense-ID order (SymbolList()[id] ==
+// Name(id)) — the export half of the serialization boundary, consumed
+// by ImportSymbols to rebuild the Set with identical ID assignments.
+func (s *Set) SymbolList() []string { return s.tab.Names() }
 
 // Symbols returns the sorted alphabet of the sample.
 func (s *Set) Symbols() []string {

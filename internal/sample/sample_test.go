@@ -224,3 +224,63 @@ func TestMergeMultisetRemapPersistsAcrossCalls(t *testing.T) {
 		}
 	}
 }
+
+// TestImportSymbolsRebuildRoundTrip pins the Set serialization
+// boundary: exporting the symbol list plus the unique sequences with
+// multiplicities and rebuilding through ImportSymbols + AddIDsChecked
+// reproduces the original Set exactly — same ID assignments, same
+// first-seen sequence order, same fingerprints (recomputed from content,
+// so they double as a corruption check for snapshot decoders).
+func TestImportSymbolsRebuildRoundTrip(t *testing.T) {
+	orig := FromStrings([][]string{
+		{"b", "a"}, {"b", "a"}, {"c"}, {}, {"a", "c", "a"},
+	})
+	rebuilt, err := ImportSymbols(orig.SymbolList())
+	if err != nil {
+		t.Fatalf("ImportSymbols: %v", err)
+	}
+	for i := 0; i < orig.Unique(); i++ {
+		if err := rebuilt.AddIDsChecked(orig.Seq(i), orig.Count(i)); err != nil {
+			t.Fatalf("AddIDsChecked(seq %d): %v", i, err)
+		}
+	}
+	if !reflect.DeepEqual(rebuilt, orig) {
+		t.Fatalf("rebuilt Set differs:\n got %v\nwant %v", rebuilt.Strings(), orig.Strings())
+	}
+	if rebuilt.ShapeFingerprint() != orig.ShapeFingerprint() ||
+		rebuilt.CountedFingerprint() != orig.CountedFingerprint() {
+		t.Fatal("rebuilt fingerprints differ from original")
+	}
+}
+
+func TestImportSymbolsRejectsDuplicates(t *testing.T) {
+	if _, err := ImportSymbols([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate symbol accepted")
+	}
+}
+
+func TestAddIDsCheckedRejectsBadInput(t *testing.T) {
+	s, err := ImportSymbols([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddIDsChecked([]int32{0, 2}, 1); err == nil {
+		t.Fatal("out-of-range ID accepted")
+	}
+	if err := s.AddIDsChecked([]int32{-1}, 1); err == nil {
+		t.Fatal("negative ID accepted")
+	}
+	if err := s.AddIDsChecked([]int32{0}, 0); err == nil {
+		t.Fatal("zero multiplicity accepted")
+	}
+	// Rejections must leave the Set untouched.
+	if s.Total() != 0 || s.Unique() != 0 {
+		t.Fatalf("rejected adds mutated the set: total=%d unique=%d", s.Total(), s.Unique())
+	}
+	if err := s.AddIDsChecked([]int32{1, 0}, 3); err != nil {
+		t.Fatalf("valid add rejected: %v", err)
+	}
+	if s.Total() != 3 || s.Unique() != 1 {
+		t.Fatalf("after valid add: total=%d unique=%d", s.Total(), s.Unique())
+	}
+}

@@ -1,0 +1,346 @@
+// Package snapshot provides the framing primitives of the durable
+// corpus-summary wire format: a magic-tagged, versioned, CRC-trailed
+// byte stream of unsigned varints, signed varints, fixed 64-bit words
+// and length-prefixed strings (DESIGN §11 specifies the field layout the
+// dtd layer builds on top).
+//
+// The two halves are deliberately asymmetric in attitude. The Writer
+// trusts its caller — it serializes whatever it is handed and only
+// reports I/O failures. The Reader trusts nothing: it is fed
+// attacker-controlled bytes, so every primitive validates before it
+// allocates, a lying length prefix can waste at most one read chunk of
+// memory, and every failure mode is a returned error wrapping
+// ErrCorrupt — never a panic. Both sides run through bufio and maintain
+// a running CRC-32C; Close on the writer appends the checksum, Close on
+// the reader verifies it and requires the stream to end there.
+//
+// Errors are sticky: after the first failure every subsequent call is a
+// no-op returning zero values, so decoders can be written as straight-
+// line field reads with a single Err check per record.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ErrCorrupt matches (with errors.Is) every decoding failure: bad
+// magic, truncation, checksum mismatch, malformed varints, out-of-range
+// values, trailing garbage.
+var ErrCorrupt = errors.New("snapshot: corrupt or truncated data")
+
+const (
+	// MaxStringLen caps one length-prefixed string (64 MiB). Legitimate
+	// snapshots hold element names, attribute values and capped text
+	// samples — nothing within orders of magnitude of this — while the
+	// cap keeps a hostile length prefix from being mistaken for a
+	// multi-exabyte allocation request.
+	MaxStringLen = 64 << 20
+	// readChunk bounds how much a lying length prefix can make the
+	// reader allocate before truncation is detected: string payloads are
+	// read and grown chunk by chunk, so memory tracks bytes actually
+	// present in the stream.
+	readChunk = 32 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer encodes the framing format onto an io.Writer. Create with
+// NewWriter, emit fields, then Close to append the checksum. Errors are
+// sticky; only the first is reported.
+type Writer struct {
+	bw      *bufio.Writer
+	crc     uint32
+	err     error
+	scratch [binary.MaxVarintLen64]byte
+}
+
+// NewWriter starts a stream: the magic tag and format version are
+// written (and checksummed) immediately.
+func NewWriter(w io.Writer, magic string, version byte) *Writer {
+	sw := &Writer{bw: bufio.NewWriter(w)}
+	sw.raw([]byte(magic))
+	sw.Byte(version)
+	return sw
+}
+
+func (w *Writer) raw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc = crc32.Update(w.crc, castagnoli, b)
+	_, w.err = w.bw.Write(b)
+}
+
+// Byte writes one raw byte.
+func (w *Writer) Byte(b byte) {
+	w.scratch[0] = b
+	w.raw(w.scratch[:1])
+}
+
+// Bool writes a bool as one byte (0 or 1).
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(u uint64) {
+	n := binary.PutUvarint(w.scratch[:], u)
+	w.raw(w.scratch[:n])
+}
+
+// Varint writes a signed (zig-zag) varint.
+func (w *Writer) Varint(v int64) {
+	n := binary.PutVarint(w.scratch[:], v)
+	w.raw(w.scratch[:n])
+}
+
+// Len writes a non-negative count as an unsigned varint.
+func (w *Writer) Len(n int) { w.Uvarint(uint64(n)) }
+
+// U64 writes a fixed-width little-endian 64-bit word (fingerprints,
+// whose value distribution would waste varint bytes).
+func (w *Writer) U64(u uint64) {
+	binary.LittleEndian.PutUint64(w.scratch[:8], u)
+	w.raw(w.scratch[:8])
+}
+
+// String writes a length-prefixed string. Strings longer than
+// MaxStringLen fail the writer — every stream the Writer produces must
+// be acceptable to the Reader.
+func (w *Writer) String(s string) {
+	if len(s) > MaxStringLen {
+		if w.err == nil {
+			w.err = fmt.Errorf("snapshot: string of %d bytes exceeds limit %d", len(s), MaxStringLen)
+		}
+		return
+	}
+	w.Uvarint(uint64(len(s)))
+	if w.err != nil {
+		return
+	}
+	w.crc = crc32.Update(w.crc, castagnoli, []byte(s))
+	_, w.err = w.bw.WriteString(s)
+}
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close appends the CRC-32C of everything written (the checksum itself
+// excluded) and flushes. The Writer must not be used afterwards.
+func (w *Writer) Close() error {
+	if w.err == nil {
+		binary.LittleEndian.PutUint32(w.scratch[:4], w.crc)
+		_, w.err = w.bw.Write(w.scratch[:4])
+	}
+	if w.err == nil {
+		w.err = w.bw.Flush()
+	}
+	return w.err
+}
+
+// Reader decodes the framing format from untrusted bytes. Create with
+// NewReader, read fields, then Close to verify the checksum and the end
+// of stream. Every failure wraps ErrCorrupt; errors are sticky.
+type Reader struct {
+	br      *bufio.Reader
+	crc     uint32
+	err     error
+	version byte
+	scratch [8]byte
+}
+
+// NewReader starts decoding a stream, validating the magic tag. The
+// format version is exposed via Version for the caller to dispatch on.
+func NewReader(r io.Reader, magic string) (*Reader, error) {
+	sr := &Reader{br: bufio.NewReader(r)}
+	got := make([]byte, len(magic)+1)
+	sr.raw(got)
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if string(got[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrCorrupt, got[:len(magic)], magic)
+	}
+	sr.version = got[len(magic)]
+	return sr, nil
+}
+
+// Version returns the format version byte following the magic tag.
+func (r *Reader) Version() byte { return r.version }
+
+func (r *Reader) raw(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		r.fail("unexpected end of stream")
+		return
+	}
+	r.crc = crc32.Update(r.crc, castagnoli, b)
+}
+
+// fail records the first decoding error, wrapping ErrCorrupt.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// Fail lets a caller inject a semantic validation failure (an in-range
+// wire value that is nonsense for the record being decoded) into the
+// sticky error, so framing and semantic errors surface uniformly.
+func (r *Reader) Fail(format string, args ...any) { r.fail(format, args...) }
+
+// ReadByte implements io.ByteReader over the checksummed stream (it is
+// what binary.ReadUvarint consumes). On failure it both returns the
+// error and makes it sticky.
+func (r *Reader) ReadByte() (byte, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	b, err := r.br.ReadByte()
+	if err != nil {
+		r.fail("unexpected end of stream")
+		return 0, r.err
+	}
+	r.scratch[0] = b
+	r.crc = crc32.Update(r.crc, castagnoli, r.scratch[:1])
+	return b, nil
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	b, _ := r.ReadByte()
+	return b
+}
+
+// Bool reads a bool, rejecting any encoding other than 0 or 1 so every
+// stream has exactly one byte representation.
+func (r *Reader) Bool() bool {
+	switch r.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		if r.err == nil {
+			r.fail("invalid bool encoding")
+		}
+		return false
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	u, err := binary.ReadUvarint(r)
+	if err != nil && r.err == nil {
+		r.fail("malformed varint")
+	}
+	if r.err != nil {
+		return 0
+	}
+	return u
+}
+
+// Varint reads a signed (zig-zag) varint.
+func (r *Reader) Varint() int64 {
+	v, err := binary.ReadVarint(r)
+	if err != nil && r.err == nil {
+		r.fail("malformed varint")
+	}
+	if r.err != nil {
+		return 0
+	}
+	return v
+}
+
+// Int reads an unsigned varint that must fit a non-negative int —
+// counts and multiplicities.
+func (r *Reader) Int() int {
+	u := r.Uvarint()
+	if u > math.MaxInt64 {
+		r.fail("count %d out of range", u)
+		return 0
+	}
+	return int(u)
+}
+
+// U64 reads a fixed-width little-endian 64-bit word.
+func (r *Reader) U64() uint64 {
+	r.raw(r.scratch[:8])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.scratch[:8])
+}
+
+// String reads a length-prefixed string. The length is validated
+// against MaxStringLen and the payload is read chunk by chunk, so a
+// hostile prefix can neither trigger a giant allocation nor make memory
+// use exceed the bytes actually present in the stream.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if n > MaxStringLen {
+		r.fail("string of %d bytes exceeds limit %d", n, MaxStringLen)
+	}
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	if n <= readChunk {
+		b := make([]byte, n)
+		r.raw(b)
+		if r.err != nil {
+			return ""
+		}
+		return string(b)
+	}
+	b := make([]byte, 0, readChunk)
+	for left := int(n); left > 0; {
+		c := min(left, readChunk)
+		start := len(b)
+		b = append(b, make([]byte, c)...)
+		r.raw(b[start:])
+		if r.err != nil {
+			return ""
+		}
+		left -= c
+	}
+	return string(b)
+}
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Close reads the trailing CRC-32C, verifies it against everything
+// consumed so far, and requires the stream to end exactly there. It
+// returns the sticky error, so a decoder's single error check can be
+// the Close result.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	want := r.crc
+	if _, err := io.ReadFull(r.br, r.scratch[:4]); err != nil {
+		r.fail("missing checksum")
+		return r.err
+	}
+	if got := binary.LittleEndian.Uint32(r.scratch[:4]); got != want {
+		r.fail("checksum mismatch (stream %08x, computed %08x)", got, want)
+		return r.err
+	}
+	if _, err := r.br.ReadByte(); err != io.EOF {
+		r.fail("trailing data after checksum")
+		return r.err
+	}
+	return nil
+}

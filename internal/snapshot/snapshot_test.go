@@ -1,0 +1,288 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// roundTrip writes a representative field mix and returns the bytes.
+func roundTrip(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "TEST", 3)
+	w.Uvarint(0)
+	w.Uvarint(1)
+	w.Uvarint(1<<63 + 17)
+	w.Varint(-42)
+	w.Varint(1 << 40)
+	w.Bool(true)
+	w.Bool(false)
+	w.Byte(0xAB)
+	w.U64(0xdeadbeefcafebabe)
+	w.String("")
+	w.String("hello, snapshot")
+	w.String(strings.Repeat("x", readChunk+7))
+	w.Len(12345)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := roundTrip(t)
+	r, err := NewReader(bytes.NewReader(data), "TEST")
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.Version() != 3 {
+		t.Fatalf("Version = %d, want 3", r.Version())
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := r.Uvarint(); got != 1 {
+		t.Errorf("Uvarint = %d, want 1", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+17 {
+		t.Errorf("Uvarint = %d, want %d", got, uint64(1<<63+17))
+	}
+	if got := r.Varint(); got != -42 {
+		t.Errorf("Varint = %d, want -42", got)
+	}
+	if got := r.Varint(); got != 1<<40 {
+		t.Errorf("Varint = %d, want %d", got, int64(1<<40))
+	}
+	if got := r.Bool(); got != true {
+		t.Errorf("Bool = %v, want true", got)
+	}
+	if got := r.Bool(); got != false {
+		t.Errorf("Bool = %v, want false", got)
+	}
+	if got := r.Byte(); got != 0xAB {
+		t.Errorf("Byte = %#x, want 0xAB", got)
+	}
+	if got := r.U64(); got != 0xdeadbeefcafebabe {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if got := r.String(); got != "hello, snapshot" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != strings.Repeat("x", readChunk+7) {
+		t.Errorf("long String mismatch (len %d)", len(got))
+	}
+	if got := r.Int(); got != 12345 {
+		t.Errorf("Int = %d, want 12345", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	data := roundTrip(t)
+	if _, err := NewReader(bytes.NewReader(data), "NOPE"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil), "TEST"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty stream: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTruncations decodes every strict prefix of a valid stream: each
+// must fail with ErrCorrupt by Close at the latest, never panic.
+func TestTruncations(t *testing.T) {
+	data := roundTrip(t)
+	for n := 0; n < len(data); n++ {
+		r, err := NewReader(bytes.NewReader(data[:n]), "TEST")
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("prefix %d: NewReader err = %v, want ErrCorrupt", n, err)
+			}
+			continue
+		}
+		// Drain the same field sequence the writer produced, then Close.
+		for i := 0; i < 3; i++ {
+			r.Uvarint()
+		}
+		r.Varint()
+		r.Varint()
+		r.Bool()
+		r.Bool()
+		r.Byte()
+		r.U64()
+		for i := 0; i < 3; i++ {
+			_ = r.String()
+		}
+		r.Int()
+		if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d: Close err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestCorruption flips one bit at every byte position: the reader must
+// report ErrCorrupt (usually at Close via the checksum) and never panic.
+// Positions whose flip is caught earlier (bad magic, invalid bool,
+// over-limit length) are equally acceptable — the invariant is that no
+// corrupted stream decodes cleanly.
+func TestCorruption(t *testing.T) {
+	data := roundTrip(t)
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x40
+		r, err := NewReader(bytes.NewReader(mut), "TEST")
+		if err != nil {
+			continue // magic/version corruption caught at open
+		}
+		for i := 0; i < 3; i++ {
+			r.Uvarint()
+		}
+		r.Varint()
+		r.Varint()
+		r.Bool()
+		r.Bool()
+		r.Byte()
+		r.U64()
+		for i := 0; i < 3; i++ {
+			_ = r.String()
+		}
+		r.Int()
+		if err := r.Close(); err == nil {
+			t.Fatalf("bit flip at %d decoded cleanly", pos)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrCorrupt", pos, err)
+		}
+	}
+}
+
+func TestTrailingGarbage(t *testing.T) {
+	data := append(roundTrip(t), 0x00)
+	r, err := NewReader(bytes.NewReader(data), "TEST")
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		r.Uvarint()
+	}
+	r.Varint()
+	r.Varint()
+	r.Bool()
+	r.Bool()
+	r.Byte()
+	r.U64()
+	for i := 0; i < 3; i++ {
+		_ = r.String()
+	}
+	r.Int()
+	if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLyingStringLength feeds a stream whose length prefix promises far
+// more bytes than follow: the reader must fail on truncation without
+// allocating the promised size (enforced structurally by the chunked
+// read; here we only assert the error path).
+func TestLyingStringLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "TEST", 1)
+	w.Uvarint(MaxStringLen) // in-limit length with no payload behind it
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), "TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("String on truncated payload = %q, want empty", got)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", r.Err())
+	}
+
+	// Over-limit length must fail before any payload read.
+	var buf2 bytes.Buffer
+	w2 := NewWriter(&buf2, "TEST", 1)
+	w2.Uvarint(MaxStringLen + 1)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReader(bytes.NewReader(buf2.Bytes()), "TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r2.String()
+	if !errors.Is(r2.Err(), ErrCorrupt) {
+		t.Fatalf("over-limit Err = %v, want ErrCorrupt", r2.Err())
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "TEST", 1)
+	w.Byte(2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()), "TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Bool()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Bool(2): Err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	r, err := NewReader(bytes.NewReader([]byte("TEST\x01")), "TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.U64() // fails: no bytes left
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	// Everything after the first failure is a zero-value no-op and the
+	// error does not change.
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("post-error Uvarint = %d", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("post-error String = %q", got)
+	}
+	if r.Err() != first {
+		t.Errorf("error changed after first failure")
+	}
+}
+
+func TestWriterRejectsOverlongString(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, "TEST", 1)
+	w.String(strings.Repeat("y", MaxStringLen+1))
+	if w.Err() == nil {
+		t.Fatal("overlong string accepted by writer")
+	}
+}
+
+func TestFailInjectsSemanticError(t *testing.T) {
+	data := roundTrip(t)
+	r, err := NewReader(bytes.NewReader(data), "TEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Fail("record %d makes no sense", 7)
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Fail: Err = %v, want ErrCorrupt", r.Err())
+	}
+	if !strings.Contains(r.Err().Error(), "record 7") {
+		t.Fatalf("Fail message lost: %v", r.Err())
+	}
+}

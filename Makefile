@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile incremental-smoke snapshot-smoke
+.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile incremental-smoke snapshot-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,16 @@ incremental-smoke:
 snapshot-smoke:
 	$(GO) test -run 'TestSnapshotSaveLoadInferEquivalence|TestSnapshotShardMergeEquivalence' .
 
-check: fmt-check vet incremental-smoke snapshot-smoke race
+# serve-smoke is the schema-service gate: it builds dtdserved and drives
+# the real binary through ingest -> read -> SIGTERM drain and kill -9
+# crash recovery, plus the in-process drain/recovery tests, all under the
+# race detector. The server package also runs under `race` with the full
+# suite; the named target is the fast loop when touching the daemon.
+serve-smoke:
+	$(GO) test -race -run 'TestDaemon' -count=1 .
+	$(GO) test -race -count=1 ./internal/server
+
+check: fmt-check vet incremental-smoke snapshot-smoke serve-smoke race
 
 # bench records the perf-trajectory workloads (Section 8.3 timings, the
 # end-to-end pipeline at several ingestion worker counts, the isolated

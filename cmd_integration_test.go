@@ -27,7 +27,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"dtdinfer", "dtdmerge", "dtdvalidate", "dtddiff", "xmlgen", "experiments"} {
+		for _, tool := range []string{"dtdinfer", "dtdmerge", "dtdvalidate", "dtddiff", "xmlgen", "experiments", "dtdserved"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {

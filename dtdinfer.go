@@ -247,6 +247,25 @@ func NewIncremental(algo Algorithm, opts *Options) *Incremental {
 	return core.NewIncremental(algo, opts)
 }
 
+// NewIncrementalFromExtraction wraps an existing extraction — typically
+// one recovered with LoadCorpus — so incremental inference resumes from
+// persisted state instead of an empty corpus.
+func NewIncrementalFromExtraction(x *Extraction, algo Algorithm, opts *Options) *Incremental {
+	return core.NewIncrementalFromExtraction(x, algo, opts)
+}
+
+// RetryPolicy bounds a retried operation: attempts, exponential backoff
+// with jitter, and a backoff cap. The zero value means the defaults
+// (3 attempts, 50ms initial backoff, 2s cap).
+type RetryPolicy = core.RetryPolicy
+
+// SaveCorpusRetry is SaveCorpus under a retry policy: transient write
+// failures are retried with jittered exponential backoff. A nil policy
+// uses the defaults.
+func SaveCorpusRetry(x *Extraction, path string, policy *RetryPolicy) error {
+	return core.SaveCorpusRetry(x, path, policy)
+}
+
 // ChangeFeed renders what changed between two published snapshots
 // ("v3→v4: modified <order>, added <sku>"). A nil prev reports every
 // element as added.

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/faultinject"
+)
+
+func incDocs(labels ...string) []dtd.Doc {
+	docs := make([]dtd.Doc, len(labels))
+	for i, body := range labels {
+		docs[i] = dtd.Doc{Label: "doc", R: strings.NewReader(body)}
+	}
+	return docs
+}
+
+// TestAutoPersistOnRefresh: with auto-persist enabled, every successful
+// Refresh leaves a loadable summary whose inference matches the
+// published snapshot byte for byte.
+func TestAutoPersistOnRefresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenant.corpus")
+	inc := NewIncremental(IDTD, nil)
+	inc.EnableAutoPersist(path, &RetryPolicy{Sleep: func(time.Duration) {}})
+	ctx := context.Background()
+	if _, err := inc.AddDocs(ctx, incDocs("<a><b/><c/></a>"), nil, dtd.FailFast); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := inc.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.LastPersistError(); err != nil {
+		t.Fatalf("LastPersistError after successful Refresh: %v", err)
+	}
+	x, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	d, _, err := InferDTDFromExtractionContext(ctx, x, IDTD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != snap.DTD.String() {
+		t.Errorf("recovered DTD:\n%s\nwant published:\n%s", d, snap.DTD)
+	}
+
+	// A second batch advances both the snapshot and the summary.
+	if _, err := inc.AddDocs(ctx, incDocs("<a><b/><b/><c/></a>"), nil, dtd.FailFast); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := inc.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Version != snap.Version+1 {
+		t.Errorf("version = %d, want %d", snap2.Version, snap.Version+1)
+	}
+	x2, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.Documents != 2 {
+		t.Errorf("persisted summary has %d documents, want 2", x2.Documents)
+	}
+}
+
+// TestAutoPersistFailureDoesNotBlockPublish: a persist that keeps
+// failing surfaces through LastPersistError while the snapshot still
+// publishes; once the fault clears, the next Refresh persists again.
+func TestAutoPersistFailureDoesNotBlockPublish(t *testing.T) {
+	defer faultinject.Reset()
+	boom := errors.New("no space left on device")
+	path := filepath.Join(t.TempDir(), "tenant.corpus")
+	inc := NewIncremental(IDTD, nil)
+	inc.EnableAutoPersist(path, &RetryPolicy{Attempts: 2, Sleep: func(time.Duration) {}})
+	ctx := context.Background()
+	if _, err := inc.AddDocs(ctx, incDocs("<a><b/></a>"), nil, dtd.FailFast); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set("persist.write", "", faultinject.Fault{Err: boom})
+	snap, err := inc.Refresh(ctx)
+	if err != nil {
+		t.Fatalf("Refresh must publish despite persist failure, got %v", err)
+	}
+	if snap == nil || snap.Version != 1 {
+		t.Fatalf("snapshot = %+v, want version 1", snap)
+	}
+	if err := inc.LastPersistError(); !errors.Is(err, boom) {
+		t.Errorf("LastPersistError = %v, want the injected error", err)
+	}
+	faultinject.Reset()
+	if _, err := inc.AddDocs(ctx, incDocs("<a><b/><b/></a>"), nil, dtd.FailFast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.LastPersistError(); err != nil {
+		t.Errorf("LastPersistError after fault cleared = %v, want nil", err)
+	}
+	if _, err := LoadCorpus(path); err != nil {
+		t.Errorf("summary unreadable after recovery: %v", err)
+	}
+}
+
+// TestPersistNowAndRecoveryRoundTrip: PersistNow flushes without a
+// Refresh, and NewIncrementalFromExtraction resumes from the summary.
+func TestPersistNowAndRecoveryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenant.corpus")
+	inc := NewIncremental(CRX, nil)
+	ctx := context.Background()
+	if err := inc.PersistNow(); err == nil {
+		t.Error("PersistNow without EnableAutoPersist must fail")
+	}
+	inc.EnableAutoPersist(path, nil)
+	if _, err := inc.AddDocs(ctx, incDocs("<r><x/><y/></r>"), nil, dtd.FailFast); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.PersistNow(); err != nil {
+		t.Fatalf("PersistNow: %v", err)
+	}
+	snap, err := inc.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc2 := NewIncrementalFromExtraction(x, CRX, nil)
+	snap2, err := inc2.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.DTD.String() != snap.DTD.String() {
+		t.Errorf("recovered incremental infers:\n%s\nwant:\n%s", snap2.DTD, snap.DTD)
+	}
+	if snap2.Documents != 1 {
+		t.Errorf("recovered Documents = %d, want 1", snap2.Documents)
+	}
+}
+
+// TestIncrementalMergeSummary: merging a shard summary is equivalent to
+// ingesting the shard's documents directly.
+func TestIncrementalMergeSummary(t *testing.T) {
+	ctx := context.Background()
+	shard := dtd.NewExtraction()
+	if err := shard.AddDocumentOptions(strings.NewReader("<r><y/><z/></r>"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := NewIncremental(IDTD, nil)
+	if _, err := merged.AddDocs(ctx, incDocs("<r><x/></r>"), nil, dtd.FailFast); err != nil {
+		t.Fatal(err)
+	}
+	merged.MergeSummary(shard)
+	got, err := merged.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := NewIncremental(IDTD, nil)
+	if _, err := direct.AddDocs(ctx, incDocs("<r><x/></r>", "<r><y/><z/></r>"), nil, dtd.FailFast); err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DTD.String() != want.DTD.String() {
+		t.Errorf("merged summary infers:\n%s\nwant direct ingestion:\n%s", got.DTD, want.DTD)
+	}
+	if got.Documents != want.Documents {
+		t.Errorf("merged Documents = %d, want %d", got.Documents, want.Documents)
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"time"
 
 	"dtdinfer/internal/dtd"
+	"dtdinfer/internal/faultinject"
 )
 
 // Durable corpus summaries. A corpus summary is everything inference
@@ -24,11 +27,17 @@ import (
 // to single-machine ingestion. cmd/dtdmerge is the CLI face of that
 // map-reduce shape.
 
-// SaveCorpus writes the extraction's corpus summary to path atomically:
-// the snapshot is written to a temporary file in the same directory and
-// renamed into place only after a successful sync, so a crash mid-write
-// never leaves a truncated summary under the target name.
+// SaveCorpus writes the extraction's corpus summary to path atomically
+// and durably: the snapshot is written to a temporary file in the same
+// directory, synced, renamed into place, and then the containing
+// directory is synced too. The file sync alone makes the *content*
+// durable; only the directory sync makes the *rename* durable — without
+// it a power loss after SaveCorpus returns can legally resurface the old
+// file (or no file) under the target name.
 func SaveCorpus(x *dtd.Extraction, path string) error {
+	if err := faultinject.Fire("persist.write", path); err != nil {
+		return fmt.Errorf("core: saving corpus to %s: %w", path, err)
+	}
 	tmp, err := os.CreateTemp(dirOf(path), ".corpus-*.tmp")
 	if err != nil {
 		return fmt.Errorf("core: saving corpus: %w", err)
@@ -53,7 +62,24 @@ func SaveCorpus(x *dtd.Extraction, path string) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("core: saving corpus: %w", err)
 	}
+	if err := syncDir(dirOf(path)); err != nil {
+		return fmt.Errorf("core: saving corpus to %s: %w", path, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 func dirOf(path string) string {
@@ -63,6 +89,82 @@ func dirOf(path string) string {
 		}
 	}
 	return "."
+}
+
+// RetryPolicy shapes the retry loop around a failing persist: how many
+// attempts in total, and how long to back off between them. Backoff is
+// exponential from Backoff up to MaxBackoff, with ±50% jitter so a fleet
+// of tenants whose persists fail together (a full disk, a flaky mount)
+// does not retry in lockstep. The zero value means DefaultRetryPolicy.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first attempt included);
+	// 0 means 3. 1 disables retries.
+	Attempts int
+	// Backoff is the delay before the second attempt; 0 means 50ms.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means 2s.
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep in tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+	// OnRetry observes each failed attempt before the backoff sleep
+	// (attempt numbers from 1). Metrics counters hook in here.
+	OnRetry func(attempt int, err error)
+}
+
+// DefaultRetryPolicy is the policy a zero RetryPolicy resolves to.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}
+
+func (p RetryPolicy) resolved() RetryPolicy {
+	if p.Attempts == 0 {
+		p.Attempts = DefaultRetryPolicy.Attempts
+	}
+	if p.Backoff == 0 {
+		p.Backoff = DefaultRetryPolicy.Backoff
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = DefaultRetryPolicy.MaxBackoff
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff returns the jittered delay before attempt n+1 (n from 1).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.Backoff << (n - 1)
+	if d > p.MaxBackoff || d <= 0 { // <= 0 guards shift overflow
+		d = p.MaxBackoff
+	}
+	// ±50% jitter; rand is fine here — this is desynchronization, not
+	// cryptography, and tests assert on attempt counts, not delays.
+	return d/2 + time.Duration(rand.Int63n(int64(d)+1))
+}
+
+// SaveCorpusRetry is SaveCorpus under a retry policy: transient write
+// failures (the fault injection point "persist.write" included) are
+// retried with jittered exponential backoff until an attempt succeeds or
+// the policy's attempts are exhausted, in which case the last error is
+// returned. This is the one persist loop shared by the schema service
+// daemon's periodic auto-persist and Incremental's refresh-time
+// auto-persist.
+func SaveCorpusRetry(x *dtd.Extraction, path string, policy *RetryPolicy) error {
+	p := DefaultRetryPolicy
+	if policy != nil {
+		p = *policy
+	}
+	p = p.resolved()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = SaveCorpus(x, path)
+		if err == nil || attempt >= p.Attempts {
+			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		p.Sleep(p.backoff(attempt))
+	}
 }
 
 // LoadCorpus reads a corpus summary previously written by SaveCorpus

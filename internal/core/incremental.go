@@ -91,12 +91,27 @@ type Incremental struct {
 	mu  sync.Mutex // guards x and the prepare-publish sequence
 	x   *dtd.Extraction
 	cur atomic.Pointer[Snapshot]
+
+	// Auto-persist state (see EnableAutoPersist). persistPath is
+	// immutable after EnableAutoPersist; lastPersistErr is guarded by mu.
+	persistPath    string
+	persistRetry   RetryPolicy
+	lastPersistErr error
 }
 
 // NewIncremental returns an empty incremental inferrer for the given
 // engine configuration (opts may be nil; it is captured by value).
 func NewIncremental(algo Algorithm, opts *Options) *Incremental {
-	inc := &Incremental{algo: algo, x: dtd.NewExtraction()}
+	return NewIncrementalFromExtraction(dtd.NewExtraction(), algo, opts)
+}
+
+// NewIncrementalFromExtraction wraps an existing extraction — typically
+// one recovered with LoadCorpus — so a restarted process resumes exactly
+// where the persisted summary left off: the first Refresh replays the
+// summary's warm caches, and subsequent ingestion dirties only what it
+// changes. The extraction must not be used by the caller afterwards.
+func NewIncrementalFromExtraction(x *dtd.Extraction, algo Algorithm, opts *Options) *Incremental {
+	inc := &Incremental{algo: algo, x: x}
 	if opts != nil {
 		inc.opts = *opts
 	}
@@ -133,7 +148,60 @@ func (inc *Incremental) Refresh(ctx context.Context) (*Snapshot, error) {
 	}
 	snap := &Snapshot{Version: version, DTD: d, Stats: stats, Documents: inc.x.Documents}
 	inc.cur.Store(snap)
+	if inc.persistPath != "" {
+		inc.lastPersistErr = SaveCorpusRetry(inc.x, inc.persistPath, &inc.persistRetry)
+	}
 	return snap, nil
+}
+
+// EnableAutoPersist makes every subsequent successful Refresh save the
+// accumulated corpus summary to path via SaveCorpusRetry under the given
+// policy (nil = DefaultRetryPolicy). A persist failure never blocks the
+// publish — readers get the new snapshot either way — and is reported by
+// LastPersistError; the next Refresh (or PersistNow) tries again. Call
+// before sharing the Incremental across goroutines.
+func (inc *Incremental) EnableAutoPersist(path string, policy *RetryPolicy) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.persistPath = path
+	if policy != nil {
+		inc.persistRetry = *policy
+	} else {
+		inc.persistRetry = RetryPolicy{}
+	}
+}
+
+// PersistNow saves the accumulated corpus summary to the auto-persist
+// path immediately (one retried persist, same policy as Refresh), for
+// final flushes on shutdown. It is an error if auto-persist is not
+// enabled.
+func (inc *Incremental) PersistNow() error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.persistPath == "" {
+		return fmt.Errorf("core: PersistNow without EnableAutoPersist")
+	}
+	inc.lastPersistErr = SaveCorpusRetry(inc.x, inc.persistPath, &inc.persistRetry)
+	return inc.lastPersistErr
+}
+
+// LastPersistError returns the outcome of the most recent auto-persist
+// attempt (nil when it succeeded, or before any persist ran).
+func (inc *Incremental) LastPersistError() error {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.lastPersistErr
+}
+
+// MergeSummary folds another extraction — typically a corpus summary
+// loaded with LoadCorpus or ReadCorpus, built from a disjoint document
+// shard — into the accumulated state, exactly as if the shard's
+// documents had been ingested here. Call Refresh to publish a snapshot
+// reflecting the merged corpus.
+func (inc *Incremental) MergeSummary(o *dtd.Extraction) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.x.MergeSummary(o)
 }
 
 // Current returns the latest published snapshot (nil before the first

@@ -30,6 +30,11 @@ type Fault struct {
 	Delay time.Duration
 	// Err is returned by the hook, exercising error-degradation paths.
 	Err error
+	// Times bounds how often the fault fires: after Times firings the
+	// registration clears itself and the hook succeeds again. 0 means
+	// unlimited. A fail-N-then-succeed fault is how retry/backoff loops
+	// are pinned without races on Reset timing.
+	Times int
 }
 
 // Panic is the value thrown by a Panic fault, so recover barriers in tests
@@ -67,6 +72,17 @@ func Set(point, key string, f Fault) {
 	armed.Store(true)
 }
 
+// Pending reports whether a registration exists for exactly (point, key)
+// without consuming it. Tests use it to observe that a Times-limited
+// fault has fired: once the budget is spent the registration is gone —
+// a deterministic "the hook has been reached" signal.
+func Pending(point, key string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := faults[point][key]
+	return ok
+}
+
 // Reset clears every registration, restoring the production no-op state.
 func Reset() {
 	mu.Lock()
@@ -102,9 +118,28 @@ func lookup(point, key string) (Fault, bool) {
 	if byKey == nil {
 		return Fault{}, false
 	}
-	if f, ok := byKey[key]; ok {
+	if f, ok := take(byKey, key); ok {
 		return f, true
 	}
-	f, ok := byKey[""]
-	return f, ok
+	return take(byKey, "")
+}
+
+// take fetches byKey[k], consuming one firing of a Times-limited fault
+// and clearing the registration once its budget is spent. Must be called
+// with mu held.
+func take(byKey map[string]Fault, k string) (Fault, bool) {
+	f, ok := byKey[k]
+	if !ok {
+		return Fault{}, false
+	}
+	if f.Times > 0 {
+		if f.Times == 1 {
+			delete(byKey, k)
+		} else {
+			g := f
+			g.Times--
+			byKey[k] = g
+		}
+	}
+	return f, true
 }

@@ -63,6 +63,32 @@ func TestDelayFault(t *testing.T) {
 	}
 }
 
+func TestTimesLimitedFault(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", "k", Fault{Err: boom, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := Fire("p", "k"); !errors.Is(err, boom) {
+			t.Errorf("firing %d = %v, want the registered error", i+1, err)
+		}
+	}
+	if err := Fire("p", "k"); err != nil {
+		t.Errorf("Fire after budget spent = %v, want nil", err)
+	}
+}
+
+func TestTimesLimitedWildcard(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", "", Fault{Err: boom, Times: 1})
+	if err := Fire("p", "a"); !errors.Is(err, boom) {
+		t.Errorf("first firing = %v, want the registered error", err)
+	}
+	if err := Fire("p", "b"); err != nil {
+		t.Errorf("second firing = %v, want nil (wildcard consumed)", err)
+	}
+}
+
 func TestResetDisarms(t *testing.T) {
 	Set("p", "k", Fault{Err: errors.New("boom")})
 	Reset()

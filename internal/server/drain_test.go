@@ -1,0 +1,214 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/faultinject"
+)
+
+// TestDrainUnderLoad is the in-process drain-correctness gate (the
+// binary-level SIGTERM test rides on the same machinery): under
+// concurrent ingest and read load, BeginDrain + listener close + Close
+// must complete every request that was accepted before the drain began,
+// answer 503 to everything after, flush the queues, and persist.
+func TestDrainUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{DataDir: dir, QueueSize: 256, RequestTimeout: 30 * time.Second, PersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	base := ts.URL + "/v1/tenants/load"
+	if code, body := post(t, base+"/documents", "<a><b/></a>"); code != 200 {
+		t.Fatalf("priming ingest = %d: %s", code, body)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		accepted atomic.Int64 // 200s
+		rejected atomic.Int64 // 503s after drain began
+		other    atomic.Int64 // anything else (must stay 0)
+	)
+	stop := make(chan struct{})
+	classify := func(code int) {
+		switch code {
+		case 200:
+			accepted.Add(1)
+		case 503:
+			rejected.Add(1)
+		case 429: // legitimate backpressure, not a drain violation
+		default:
+			other.Add(1)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() { // ingest load
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base+"/documents", "application/xml",
+					strings.NewReader("<a><b/><c/></a>"))
+				if err != nil {
+					other.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				classify(resp.StatusCode)
+			}
+		}()
+		go func() { // read load
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(base + "/dtd")
+				if err != nil {
+					other.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case 200:
+				case 503:
+					rejected.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Let the load run, then drain mid-flight.
+	time.Sleep(200 * time.Millisecond)
+	srv.BeginDrain()
+
+	// New requests are now refused while the server still lives.
+	if code, _ := get(t, ts.URL+"/readyz"); code != 503 {
+		t.Errorf("readyz while draining = %d, want 503", code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Errorf("healthz while draining = %d, want 200", code)
+	}
+	if code, _ := post(t, base+"/documents", "<a/>"); code != 503 {
+		t.Errorf("ingest while draining = %d, want 503", code)
+	}
+
+	close(stop)
+	wg.Wait()
+	ts.Close() // waits for in-flight handlers
+	if err := srv.Close(15 * time.Second); err != nil {
+		t.Fatalf("Close after drain: %v", err)
+	}
+
+	if other.Load() != 0 {
+		t.Errorf("%d requests got unexpected statuses (want only 200/429/503)", other.Load())
+	}
+	if accepted.Load() == 0 {
+		t.Error("load generator recorded no accepted requests")
+	}
+	if rejected.Load() == 0 {
+		t.Error("no request was drain-rejected; drain began too late to observe")
+	}
+
+	// The final persist flushed the corpus: a fresh load must infer the
+	// same document count the server accepted (priming + load 200s on
+	// the ingest side are all or a subset — the summary must simply be
+	// loadable and non-empty).
+	x, err := core.LoadCorpus(filepath.Join(dir, "load.corpus"))
+	if err != nil {
+		t.Fatalf("summary after drain: %v", err)
+	}
+	if x.Documents == 0 {
+		t.Error("persisted summary is empty after drain")
+	}
+}
+
+// TestDrainCompletesWhenPersistFails pins drain-under-failure: with
+// every persist attempt failing, drain still finishes inside the
+// deadline (retry/backoff must not hang the flush), the failure is
+// surfaced by Close, and the tenant keeps its dirty state on disk
+// untouched (the last good summary, here: none).
+func TestDrainCompletesWhenPersistFails(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	srv, err := New(Config{
+		DataDir:         dir,
+		PersistInterval: -1,
+		PersistRetry:    core.RetryPolicy{Attempts: 2, Backoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	base := ts.URL + "/v1/tenants/doomed"
+	if code, body := post(t, base+"/documents", "<a><b/></a>"); code != 200 {
+		t.Fatalf("ingest = %d: %s", code, body)
+	}
+
+	faultinject.Set("persist.write", "", faultinject.Fault{Err: errors.New("injected write failure")})
+	srv.BeginDrain()
+	ts.Close()
+	start := time.Now()
+	err = srv.Close(10 * time.Second)
+	if err == nil {
+		t.Fatal("Close = nil, want the final-persist failure surfaced")
+	}
+	if errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Close hit the drain deadline (%v); persist retries must not hang drain", time.Since(start))
+	}
+	if !strings.Contains(err.Error(), "doomed") {
+		t.Errorf("Close error %q does not name the failing tenant", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "doomed.corpus")); !errors.Is(statErr, os.ErrNotExist) {
+		t.Errorf("failed persist left a summary behind: %v", statErr)
+	}
+}
+
+// TestCloseIdempotentAndTimeout: Close twice is safe; a worker wedged
+// past the deadline yields ErrDrainTimeout instead of hanging forever.
+func TestCloseTimeout(t *testing.T) {
+	defer faultinject.Reset()
+	srv, err := New(Config{PersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	base := ts.URL + "/v1/tenants/wedged"
+	if code, _ := post(t, base+"/documents", "<a><b/></a>"); code != 200 {
+		t.Fatal("priming ingest failed")
+	}
+	// Wedge the worker long enough to outlive a tiny drain deadline.
+	faultinject.Set("server.worker", "wedged", faultinject.Fault{Delay: 2 * time.Second, Times: 1})
+	go http.Post(base+"/documents", "application/xml", strings.NewReader("<a/>"))
+	waitFor(t, func() bool { return !faultinject.Pending("server.worker", "wedged") })
+	if err := srv.Close(50 * time.Millisecond); !errors.Is(err, ErrDrainTimeout) {
+		t.Fatalf("Close with wedged worker = %v, want ErrDrainTimeout", err)
+	}
+	// Second Close waits the workers out properly.
+	if err := srv.Close(10 * time.Second); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	ts.Close()
+}

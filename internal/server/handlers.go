@@ -1,0 +1,316 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"dtdinfer/internal/core"
+	"dtdinfer/internal/faultinject"
+)
+
+var (
+	errBadTenant = errors.New("invalid tenant name (want [A-Za-z0-9][A-Za-z0-9_-]{0,63})")
+	errNoTenant  = errors.New("no such tenant")
+)
+
+// Handler returns the daemon's HTTP surface:
+//
+//	GET  /healthz                          liveness (200 while the process runs)
+//	GET  /readyz                           readiness (503 once draining)
+//	GET  /metrics                          Prometheus-style counters and gauges
+//	GET  /v1/tenants                       list tenant statuses
+//	POST /v1/tenants/{tenant}/documents    ingest one XML document (429 when the queue is full)
+//	POST /v1/tenants/{tenant}/summary      merge an uploaded corpus summary
+//	POST /v1/tenants/{tenant}/validate     validate a document against the published schema
+//	POST /v1/tenants/{tenant}/persist      force a persist of the tenant's summary
+//	GET  /v1/tenants/{tenant}/dtd          current DTD (text)
+//	GET  /v1/tenants/{tenant}/xsd          current XML Schema (text)
+//	GET  /v1/tenants/{tenant}/status       tenant status (JSON)
+//
+// Every /v1 route runs wrapped: request counter, drain rejection, a
+// per-request timeout, the "server.handler" fault point, and a recover
+// barrier that turns a panicking handler into a 500 instead of a dead
+// process. /healthz and /metrics stay unwrapped so a draining or
+// misbehaving data plane never blinds the control plane.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /v1/tenants", s.wrap("tenants", s.handleList))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/documents", s.wrap("documents", s.handleIngest))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/summary", s.wrap("summary", s.handleSummary))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/validate", s.wrap("validate", s.handleValidate))
+	mux.HandleFunc("POST /v1/tenants/{tenant}/persist", s.wrap("persist", s.handlePersist))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/dtd", s.wrap("dtd", s.handleDTD))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/xsd", s.wrap("xsd", s.handleXSD))
+	mux.HandleFunc("GET /v1/tenants/{tenant}/status", s.wrap("status", s.handleStatus))
+	return mux
+}
+
+// wrap is the robustness shell around every API handler.
+func (s *Server) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		if s.draining.Load() {
+			s.metrics.drainRejects.Add(1)
+			w.Header().Set("Retry-After", "5")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Add(1)
+				s.cfg.Logf("server: panic in %s handler: %v", route, p)
+				// Best effort: if the handler already wrote, this is a
+				// no-op on the status line but still ends the request.
+				http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+			}
+		}()
+		if err := faultinject.Fire("server.handler", route); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// tenantArg resolves the {tenant} path segment, answering the error
+// itself when resolution fails.
+func (s *Server) tenantArg(w http.ResponseWriter, r *http.Request, create bool) *tenant {
+	t, err := s.tenant(r.PathValue("tenant"), create)
+	switch {
+	case errors.Is(err, errBadTenant):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil
+	case errors.Is(err, errNoTenant):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return nil
+	}
+	return t
+}
+
+// readBody slurps a capped request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, fmt.Sprintf("reading body: %v", err), status)
+		return nil, false
+	}
+	return body, true
+}
+
+// enqueue submits a job with backpressure: a full queue answers 429 +
+// Retry-After immediately — the daemon never buffers beyond the bound.
+// On success it waits for the worker's reply or the request deadline;
+// an accepted job is processed either way (the drain contract counts it).
+func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, t *tenant, j *job) {
+	select {
+	case t.queue <- j:
+	default:
+		s.metrics.queueFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "ingest queue full, retry later", http.StatusTooManyRequests)
+		return
+	}
+	select {
+	case res := <-j.reply:
+		if res.status != http.StatusOK {
+			http.Error(w, res.message, res.status)
+			return
+		}
+		writeJSON(w, map[string]any{"tenant": t.name, "version": res.version})
+	case <-r.Context().Done():
+		// The job stays queued and will complete; only this response
+		// gives up. 503 on drain-cancel would lie — the work happens.
+		http.Error(w, "timed out waiting for ingestion (the document is still queued)",
+			http.StatusGatewayTimeout)
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantArg(w, r, true)
+	if t == nil {
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty document", http.StatusBadRequest)
+		return
+	}
+	s.enqueue(w, r, t, &job{kind: jobIngest, data: body, reply: make(chan jobResult, 1)})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantArg(w, r, true)
+	if t == nil {
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	// Decode (and thereby fully validate) the summary on the request
+	// goroutine: a corrupt upload costs the uploader a 400, never a
+	// worker stall.
+	x, err := core.ReadCorpus(bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad corpus summary: %v", err), http.StatusBadRequest)
+		return
+	}
+	s.enqueue(w, r, t, &job{kind: jobSummary, summary: x, reply: make(chan jobResult, 1)})
+}
+
+func (s *Server) handlePersist(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantArg(w, r, false)
+	if t == nil {
+		return
+	}
+	if t.path() == "" {
+		http.Error(w, "persistence disabled (no -data dir)", http.StatusConflict)
+		return
+	}
+	s.enqueue(w, r, t, &job{kind: jobPersist, reply: make(chan jobResult, 1)})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantArg(w, r, false)
+	if t == nil {
+		return
+	}
+	p := t.published.Load()
+	if p == nil {
+		http.Error(w, "no schema published yet", http.StatusNotFound)
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	s.metrics.validations.Add(1)
+	violations, err := p.validator.ValidateOptions(bytes.NewReader(body), s.cfg.Ingest)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("validation aborted: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(violations) > 0 {
+		s.metrics.validationInvalid.Add(1)
+	}
+	texts := make([]string, len(violations))
+	for i, v := range violations {
+		texts[i] = v.String()
+	}
+	writeJSON(w, map[string]any{
+		"tenant":     t.name,
+		"version":    p.snap.Version,
+		"valid":      len(violations) == 0,
+		"violations": texts,
+	})
+}
+
+func (s *Server) handleDTD(w http.ResponseWriter, r *http.Request) {
+	s.serveText(w, r, func(p *published) string { return p.dtdText })
+}
+
+func (s *Server) handleXSD(w http.ResponseWriter, r *http.Request) {
+	s.serveText(w, r, func(p *published) string { return p.xsdText })
+}
+
+func (s *Server) serveText(w http.ResponseWriter, r *http.Request, text func(*published) string) {
+	t := s.tenantArg(w, r, false)
+	if t == nil {
+		return
+	}
+	p := t.published.Load()
+	if p == nil {
+		http.Error(w, "no schema published yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Schema-Version", fmt.Sprint(p.snap.Version))
+	io.WriteString(w, text(p))
+}
+
+// status is the JSON shape of one tenant's state.
+type status struct {
+	Tenant           string `json:"tenant"`
+	Version          uint64 `json:"version"`
+	Documents        int    `json:"documents"`
+	QueueDepth       int    `json:"queueDepth"`
+	QueueCapacity    int    `json:"queueCapacity"`
+	Dirty            bool   `json:"dirty"`
+	LastPersistError string `json:"lastPersistError,omitempty"`
+	Quarantined      string `json:"quarantined,omitempty"`
+}
+
+func (t *tenant) status() status {
+	st := status{
+		Tenant:        t.name,
+		QueueDepth:    len(t.queue),
+		QueueCapacity: cap(t.queue),
+		Dirty:         t.dirty.Load(),
+	}
+	if p := t.published.Load(); p != nil {
+		st.Version = p.snap.Version
+		st.Documents = p.snap.Documents
+	}
+	if msg := t.persistErr.Load(); msg != nil {
+		st.LastPersistError = *msg
+	}
+	if msg := t.quarantine.Load(); msg != nil {
+		st.Quarantined = *msg
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantArg(w, r, false)
+	if t == nil {
+		return
+	}
+	writeJSON(w, t.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenants := s.list()
+	out := make([]status, len(tenants))
+	for i, t := range tenants {
+		out[i] = t.status()
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dtdinfer/internal/core"
+)
+
+// TestRestartRecoversByteIdenticalSchema: a server restarted over the
+// same data dir serves, with no re-ingestion, a DTD byte-identical to
+// library inference over the persisted summary.
+func TestRestartRecoversByteIdenticalSchema(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1, err := New(Config{DataDir: dir, PersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+	base1 := ts1.URL + "/v1/tenants/shop"
+	for _, doc := range []string{
+		"<store><book><title>a</title><price>1</price></book></store>",
+		"<store><book><title>b</title></book><book><title>c</title><price>2</price></book></store>",
+	} {
+		if code, body := post(t, base1+"/documents", doc); code != 200 {
+			t.Fatalf("ingest = %d: %s", code, body)
+		}
+	}
+	_, wantDTD := get(t, base1+"/dtd")
+	_, wantXSD := get(t, base1+"/xsd")
+	if code, body := post(t, base1+"/persist", ""); code != 200 {
+		t.Fatalf("persist = %d: %s", code, body)
+	}
+	// No clean drain: tear the first server down without final persist
+	// (the explicit persist above is the durability point).
+	ts1.Close()
+	if err := srv1.Close(10 * time.Second); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reference: direct library inference over the persisted summary.
+	x, err := core.LoadCorpus(filepath.Join(dir, "shop.corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.InferDTDFromExtraction(x, core.IDTD, &core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.String() != wantDTD {
+		t.Fatalf("library inference over summary differs from served DTD:\n%s\nvs\n%s", ref, wantDTD)
+	}
+
+	srv2, err := New(Config{DataDir: dir, PersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer func() {
+		ts2.Close()
+		srv2.Close(10 * time.Second)
+	}()
+	base2 := ts2.URL + "/v1/tenants/shop"
+	code, gotDTD := get(t, base2+"/dtd")
+	if code != 200 {
+		t.Fatalf("dtd after restart = %d: %s", code, gotDTD)
+	}
+	if gotDTD != wantDTD {
+		t.Errorf("recovered DTD differs:\n%s\nwant:\n%s", gotDTD, wantDTD)
+	}
+	code, gotXSD := get(t, base2+"/xsd")
+	if code != 200 || gotXSD != wantXSD {
+		t.Errorf("recovered XSD differs (code %d):\n%s\nwant:\n%s", code, gotXSD, wantXSD)
+	}
+	if code, body := get(t, ts2.URL+"/metrics"); code != 200 ||
+		!strings.Contains(body, "dtdserved_recovered_tenants_total 1") {
+		t.Errorf("metrics after recovery missing recovered counter: %s", body)
+	}
+	// Recovery replays the persisted caches: serving continues from the
+	// summary, and further ingestion keeps working.
+	if code, body := post(t, base2+"/documents",
+		"<store><book><title>d</title><isbn>x</isbn></book></store>"); code != 200 {
+		t.Errorf("ingest after recovery = %d: %s", code, body)
+	}
+}
+
+// TestCorruptSummaryQuarantined: a summary that fails to load is moved
+// aside, the tenant boots empty, and the failure is visible in /metrics
+// and the tenant status — the daemon never refuses to start.
+func TestCorruptSummaryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	// A good tenant and a corrupt one side by side: the corrupt file
+	// must not take the good one down.
+	srv0, err := New(Config{DataDir: dir, PersistInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts0 := httptest.NewServer(srv0.Handler())
+	if code, _ := post(t, ts0.URL+"/v1/tenants/good/documents", "<a><b/></a>"); code != 200 {
+		t.Fatal("priming good tenant failed")
+	}
+	if code, _ := post(t, ts0.URL+"/v1/tenants/good/persist", ""); code != 200 {
+		t.Fatal("persisting good tenant failed")
+	}
+	ts0.Close()
+	if err := srv0.Close(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.corpus"), []byte("garbage, not a summary"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := New(Config{DataDir: dir, PersistInterval: -1})
+	if err != nil {
+		t.Fatalf("New with corrupt summary must boot, got %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close(10 * time.Second)
+	}()
+
+	// The good tenant recovered.
+	if code, _ := get(t, ts.URL+"/v1/tenants/good/dtd"); code != 200 {
+		t.Errorf("good tenant did not recover: dtd = %d", code)
+	}
+	// The bad tenant exists, empty, with the quarantine surfaced.
+	code, body := get(t, ts.URL+"/v1/tenants/bad/status")
+	if code != 200 {
+		t.Fatalf("bad tenant status = %d", code)
+	}
+	if !strings.Contains(body, "quarantined") || !strings.Contains(body, `"documents": 0`) {
+		t.Errorf("bad tenant status does not surface the quarantine: %s", body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/tenants/bad/dtd"); code != 404 {
+		t.Errorf("bad tenant dtd = %d, want 404 (starts empty)", code)
+	}
+	// The corpse moved aside; the original path is free for the next
+	// persist.
+	if _, err := os.Stat(filepath.Join(dir, "bad.corpus.quarantined")); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.corpus")); !os.IsNotExist(err) {
+		t.Errorf("corrupt summary still in place: %v", err)
+	}
+	// Metrics surface the failure.
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"dtdserved_quarantined_summaries_total 1",
+		`dtdserved_tenant_quarantined{tenant="bad"} 1`,
+		`dtdserved_tenant_quarantined{tenant="good"} 0`,
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The quarantined tenant accepts fresh documents and can persist to
+	// the now-free path.
+	if code, body := post(t, ts.URL+"/v1/tenants/bad/documents", "<a><b/></a>"); code != 200 {
+		t.Errorf("ingest into quarantined tenant = %d: %s", code, body)
+	}
+	if code, body := post(t, ts.URL+"/v1/tenants/bad/persist", ""); code != 200 {
+		t.Errorf("persist of quarantined tenant = %d: %s", code, body)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.corpus")); err != nil {
+		t.Errorf("fresh summary not written after quarantine: %v", err)
+	}
+}
+
+// TestPeriodicPersist: with a short interval, a dirty tenant hits disk
+// without any explicit persist call.
+func TestPeriodicPersist(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Config{DataDir: dir, PersistInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close(10 * time.Second)
+	}()
+	if code, _ := post(t, ts.URL+"/v1/tenants/auto/documents", "<a><b/></a>"); code != 200 {
+		t.Fatal("ingest failed")
+	}
+	waitFor(t, func() bool {
+		_, err := os.Stat(filepath.Join(dir, "auto.corpus"))
+		return err == nil
+	})
+	if _, err := core.LoadCorpus(filepath.Join(dir, "auto.corpus")); err != nil {
+		t.Errorf("periodically persisted summary unreadable: %v", err)
+	}
+}

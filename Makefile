@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile incremental-smoke snapshot-smoke serve-smoke
+.PHONY: build test vet fmt-check race check bench bench-smoke fuzz-smoke profile incremental-smoke snapshot-smoke serve-smoke pipeline-smoke
 
 build:
 	$(GO) build ./...
@@ -52,14 +52,27 @@ serve-smoke:
 	$(GO) test -race -run 'TestDaemon' -count=1 .
 	$(GO) test -race -count=1 ./internal/server
 
-check: fmt-check vet incremental-smoke snapshot-smoke serve-smoke race
+# pipeline-smoke is the pipelined-ingestion gate: byte-identity between
+# the pipelined parallel path and sequential ingestion across worker
+# counts 1..8 and both decoders, plus flush-unit splitting, FailFast
+# prefix semantics, commit-fault atomicity and mid-commit cancellation —
+# all under the race detector so the worker/committer handoff is checked
+# at real parallelism.
+pipeline-smoke:
+	$(GO) test -race -cpu $(RACE_CPU) -count=1 \
+		-run 'TestPipeline|TestParallelExtractionIdenticalToSequential|TestParallelInternIDsIdenticalAcrossWorkerCounts|TestParallelIngestion' \
+		./internal/dtd .
+
+check: fmt-check vet incremental-smoke snapshot-smoke serve-smoke pipeline-smoke race
 
 # bench records the perf-trajectory workloads (Section 8.3 timings, the
 # end-to-end pipeline at several ingestion worker counts, the isolated
 # sharded-ingestion benchmark at both decoders, the dedup-vs-verbatim
 # sample pipeline comparison, the cold-vs-warm incremental inference
 # contrast, and the corpus-summary save/load-vs-reingest contrast) as
-# BENCH_PR8.json via cmd/benchjson.
+# BENCH_PR10.json via cmd/benchjson. Parallel-ingestion entries carry a
+# stage_ns breakdown (decode/flush-wait/commit/committer-idle) from the
+# pipelined committer's PipelineStats.
 #
 # The ingestion benchmarks run over a generated corpus of BENCH_MB
 # megabytes (default 100) so worker counts are measured against a
@@ -72,7 +85,7 @@ check: fmt-check vet incremental-smoke snapshot-smoke serve-smoke race
 BENCH_PATTERN = BenchmarkPerf|BenchmarkEndToEndDTD|BenchmarkIngestParallel|BenchmarkIngestDecoder|BenchmarkIngestDedup|BenchmarkIncrementalInfer|BenchmarkSnapshot
 BENCH_COUNT ?= 3x
 BENCH_MB ?= 100
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR10.json
 
 bench:
 	@gmp="$${GOMAXPROCS:-$$(nproc)}"; \

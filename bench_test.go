@@ -222,12 +222,16 @@ func BenchmarkIngestParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			b.ReportMetric(float64(docBytes), "corpus-bytes")
 			reportCPUShape(b)
+			var last *IngestReport
 			for i := 0; i < b.N; i++ {
 				x := NewExtraction()
-				if _, err := x.AddDocumentsParallel(docs(), workers, nil, dtd.FailFast); err != nil {
+				report, err := x.AddDocumentsParallel(docs(), workers, nil, dtd.FailFast)
+				if err != nil {
 					b.Fatal(err)
 				}
+				last = report
 			}
+			reportPipelineStages(b, last)
 		})
 	}
 }
@@ -259,6 +263,25 @@ func BenchmarkIngestDecoder(b *testing.B) {
 func reportCPUShape(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
 	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+}
+
+// reportPipelineStages records the pipelined committer's per-stage wall
+// and idle timings from the last iteration's report, under "stage-*-ns"
+// units so cmd/benchjson groups them into a stage_ns breakdown per
+// entry. The workers=1 entry reports none: it runs the sequential path.
+func reportPipelineStages(b *testing.B, report *IngestReport) {
+	if report == nil || report.Pipeline == nil {
+		return
+	}
+	p := report.Pipeline
+	b.ReportMetric(float64(p.Decode.Nanoseconds()), "stage-decode-ns")
+	b.ReportMetric(float64(p.FlushWait.Nanoseconds()), "stage-flush-wait-ns")
+	b.ReportMetric(float64(p.Commit.Nanoseconds()), "stage-commit-ns")
+	b.ReportMetric(float64(p.CommitterIdle.Nanoseconds()), "stage-committer-idle-ns")
+	b.ReportMetric(float64(p.FinalMerge.Nanoseconds()), "stage-final-merge-ns")
+	b.ReportMetric(float64(p.Wall.Nanoseconds()), "stage-wall-ns")
+	b.ReportMetric(float64(p.FlushUnits), "flush-units")
+	b.ReportMetric(float64(p.ArenaReuses), "arena-reuses")
 }
 
 // benchCorpusMB is the DTDINFER_BENCH_MB override: when set (as `make

@@ -33,6 +33,10 @@ type Result struct {
 	Gomaxprocs  int                `json:"gomaxprocs,omitempty"`
 	CPUs        int                `json:"cpus,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// StageNs groups the pipelined-ingestion stage timings (metrics
+	// reported with a "stage-<name>-ns" unit) into a per-entry breakdown:
+	// decode, flush-wait, commit, committer-idle, final-merge, wall.
+	StageNs map[string]float64 `json:"stage_ns,omitempty"`
 }
 
 func main() {
@@ -96,6 +100,15 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			r.AllocsPerOp = int64(val)
 		default:
+			if stage, ok := strings.CutPrefix(unit, "stage-"); ok {
+				if stage, ok := strings.CutSuffix(stage, "-ns"); ok {
+					if r.StageNs == nil {
+						r.StageNs = map[string]float64{}
+					}
+					r.StageNs[stage] = val
+					continue
+				}
+			}
 			if r.Metrics == nil {
 				r.Metrics = map[string]float64{}
 			}

@@ -68,20 +68,15 @@ func main() {
 		fatal(fmt.Errorf("unknown -degrade mode %q (want ladder or fail)", *degrade))
 	}
 
-	// Shards merge in argument order. Summary merge is commutative up to
-	// symbol numbering, and the snapshot's canonical encoding plus the
-	// deterministic merge make any fixed order reproduce single-corpus
-	// ingestion byte-identically.
-	x, err := core.LoadCorpus(flag.Arg(0))
+	// Shards merge in argument order, one at a time — each summary is
+	// decoded, folded into the accumulator and released before the next
+	// is read, so merging K shards never holds K decoded summaries.
+	// Summary merge is commutative up to symbol numbering, and the
+	// snapshot's canonical encoding plus the deterministic merge make any
+	// fixed order reproduce single-corpus ingestion byte-identically.
+	x, err := core.MergeCorpusFiles(flag.Args())
 	if err != nil {
 		fatal(err)
-	}
-	for _, name := range flag.Args()[1:] {
-		shard, err := core.LoadCorpus(name)
-		if err != nil {
-			fatal(err)
-		}
-		x.MergeSummary(shard)
 	}
 	if *out != "" {
 		if err := core.SaveCorpus(x, *out); err != nil {

@@ -195,6 +195,34 @@ func WriteCorpus(x *dtd.Extraction, w io.Writer) error {
 	return nil
 }
 
+// MergeCorpusFiles loads the named corpus summaries and merges them in
+// argument order, streaming: each summary is decoded, folded into the
+// accumulator, and released before the next is read, so peak memory is
+// the accumulator plus one decoded shard — never all K shards at once.
+// Summary merge is deterministic, so the result is byte-identical to
+// decoding every shard up front and merging them in the same order (and,
+// transitively, to single-machine ingestion of all the documents).
+func MergeCorpusFiles(paths []string) (*dtd.Extraction, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: merging corpus files: no summaries named")
+	}
+	x, err := LoadCorpus(paths[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range paths[1:] {
+		shard, err := LoadCorpus(name)
+		if err != nil {
+			return nil, err
+		}
+		x.MergeSummary(shard)
+		// shard is dead here: MergeSummary copies the statistics and
+		// retains only adopted cache entries, so the decoded shard is
+		// collectable before the next file is opened.
+	}
+	return x, nil
+}
+
 // ReadCorpus is the io.Reader form of LoadCorpus.
 func ReadCorpus(r io.Reader) (*dtd.Extraction, error) {
 	x, err := dtd.ReadSnapshot(r)

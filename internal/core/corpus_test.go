@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -152,5 +153,77 @@ func TestRetryPolicyBackoffCapped(t *testing.T) {
 		if d > p.MaxBackoff+p.MaxBackoff/2 {
 			t.Errorf("backoff(%d) = %v, exceeds cap+jitter %v", n, d, p.MaxBackoff+p.MaxBackoff/2)
 		}
+	}
+}
+
+// TestMergeCorpusFilesMatchesLoadAllPath saves K=8 disjoint shard
+// summaries and checks the streaming merge (load one, fold, release) is
+// byte-identical — same snapshot encoding, same inferred DTD — to the
+// old path that decoded every shard up front and merged the lot.
+func TestMergeCorpusFilesMatchesLoadAllPath(t *testing.T) {
+	const shards = 8
+	dir := t.TempDir()
+	paths := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		x := dtd.NewExtraction()
+		for d := 0; d < 3; d++ {
+			doc := "<store><book id=\"" + strings.Repeat("x", s+1) + "\"><title>t</title>" +
+				strings.Repeat("<price>9</price>", s%3) + "</book></store>"
+			if err := x.AddDocumentOptions(strings.NewReader(doc), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		paths[s] = filepath.Join(dir, "shard"+string(rune('0'+s))+".corpus")
+		if err := SaveCorpus(x, paths[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	streamed, err := MergeCorpusFiles(paths)
+	if err != nil {
+		t.Fatalf("MergeCorpusFiles: %v", err)
+	}
+
+	// Old path: decode all K first, then merge in order.
+	loaded := make([]*dtd.Extraction, shards)
+	for i, p := range paths {
+		if loaded[i], err = LoadCorpus(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := loaded[0]
+	for _, shard := range loaded[1:] {
+		all.MergeSummary(shard)
+	}
+
+	var sb, ab bytes.Buffer
+	if err := WriteCorpus(streamed, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCorpus(all, &ab); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), ab.Bytes()) {
+		t.Error("streaming merge snapshot differs from load-all merge")
+	}
+	ds, _, err := InferDTDFromExtractionContext(context.Background(), streamed, IDTD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, _, err := InferDTDFromExtractionContext(context.Background(), all, IDTD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.String() != da.String() {
+		t.Errorf("streaming merge DTD = %q, want %q", ds, da)
+	}
+}
+
+func TestMergeCorpusFilesErrors(t *testing.T) {
+	if _, err := MergeCorpusFiles(nil); err == nil {
+		t.Error("empty path list did not error")
+	}
+	if _, err := MergeCorpusFiles([]string{filepath.Join(t.TempDir(), "missing.corpus")}); err == nil {
+		t.Error("missing file did not error")
 	}
 }

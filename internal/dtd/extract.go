@@ -70,6 +70,19 @@ type Extraction struct {
 
 const maxTextSamples = 100
 
+// isEmpty reports whether the extraction holds no observations and no
+// cache state — i.e. adopting another extraction wholesale is
+// indistinguishable from having committed into this one directly. The
+// pipelined committer uses it to skip the final staging merge when
+// ingesting into a fresh corpus.
+func (x *Extraction) isEmpty() bool {
+	return len(x.Sequences) == 0 && len(x.HasText) == 0 &&
+		len(x.TextSamples) == 0 && len(x.TextOverflow) == 0 &&
+		len(x.Attributes) == 0 && len(x.Roots) == 0 && x.Documents == 0 &&
+		len(x.dirty) == 0 && x.cache == nil &&
+		len(x.attFp) == 0 && x.attCache == nil
+}
+
 // NewExtraction returns an empty accumulator.
 func NewExtraction() *Extraction {
 	return &Extraction{

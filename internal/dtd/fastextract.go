@@ -173,6 +173,13 @@ type fastIngester struct {
 	// worker-owned shard stage (still keyed by this ingester's symbol
 	// space) instead of an Extraction; see commitToShard.
 	shard *fastShard
+
+	// afterDoc, when set alongside shard, runs after every successful
+	// document commit into the shard — the pipelined driver's hook for
+	// shipping a flush unit once the staged bytes cross the budget. It is
+	// only ever invoked at a document boundary, which is what keeps
+	// sub-shard flushing invisible to the committed result.
+	afterDoc func()
 }
 
 func newFastIngester() *fastIngester {
@@ -244,6 +251,9 @@ func (f *fastIngester) ingestOne(ctx context.Context, r io.Reader, opts *IngestO
 	}
 	if f.shard != nil {
 		f.commitToShard(f.shard)
+		if f.afterDoc != nil {
+			f.afterDoc()
+		}
 	} else {
 		f.commit(target)
 	}
@@ -504,7 +514,7 @@ func (f *fastIngester) commit(target *Extraction) {
 			target.TextOverflow[name] = true
 		}
 		for _, a := range st.attsTouched {
-			f.commitAttr(target, name, a)
+			commitAttrStage(target, name, a)
 		}
 	}
 	for _, w := range f.rootBuf {
@@ -513,10 +523,12 @@ func (f *fastIngester) commit(target *Extraction) {
 	target.Documents++
 }
 
-// commitAttr folds one staged attribute statistic into the target,
+// commitAttrStage folds one staged attribute statistic into the target,
 // honoring the accumulated distinct-value cap like mergeAttStats, and
 // marking the element dirty under the same attribute-shape conditions.
-func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) {
+// It is target-only state (no ingester involved), so both the worker's
+// direct per-document commit and the pipeline committer share it.
+func commitAttrStage(target *Extraction, elem string, a *attStage) {
 	atts := target.Attributes[elem]
 	if atts == nil {
 		atts = map[string]*attStats{}
@@ -559,7 +571,10 @@ func (f *fastIngester) commitAttr(target *Extraction, elem string, a *attStage) 
 // the text, attribute and root observations. Nothing here holds a target
 // ID or an element-name string beyond attribute names and text values.
 type shardElem struct {
-	ms sample.Multiset
+	// epoch marks the fastShard generation this slot was last reset for;
+	// a recycled shard bumps its epoch instead of clearing every slot.
+	epoch int64
+	ms    sample.Multiset
 	// hasText/texts/textOverflow accumulate like elemStage's fields, under
 	// the same per-element cap the final extraction enforces.
 	hasText      bool
@@ -574,42 +589,92 @@ type shardElem struct {
 	attList []*attStage
 }
 
-// fastShard stages one shard's worth of accepted documents entirely in
-// the owning worker's symbol space: per-element counted ID multisets plus
-// the scalar observations. A parallel worker fills it with commitToShard
-// (per accepted document, keeping failure atomicity), and the coordinator
-// folds completed shards into the corpus extraction in shard order with
-// commitShard — the only place worker-local IDs are translated, via
-// per-worker cached remaps.
+// resetContent empties the slot's observations for a new shard
+// generation, keeping allocated storage. Staged attStages are reset
+// lazily by foldAttr through their own epoch marks.
+func (se *shardElem) resetContent() {
+	se.ms.Reset()
+	se.hasText = false
+	for i := range se.texts {
+		se.texts[i] = ""
+	}
+	se.texts = se.texts[:0]
+	se.textOverflow = false
+	se.roots = 0
+	se.attList = se.attList[:0]
+}
+
+// fastShard stages one flush unit's worth of accepted documents entirely
+// in the owning worker's symbol space: per-element counted ID multisets
+// plus the scalar observations. A parallel worker fills it with
+// commitToShard (per accepted document, keeping failure atomicity), seals
+// it with sealNames, and ships it to the pipeline committer, which folds
+// units into the corpus extraction in (shard, unit) order with
+// commitFastShard — the only place worker-local IDs are translated, via
+// per-worker cached remaps. Committed units are recycled through a free
+// list: reset bumps the epoch and slot() lazily re-initializes storage.
 type fastShard struct {
 	// perElem is indexed by the owning worker's symbol ID; touched lists
-	// the populated slots in first-touch order across the shard's
+	// the populated slots in first-touch order across the unit's
 	// documents, which is exactly the order sequential ingestion would
 	// first observe them.
 	perElem   []*shardElem
 	touched   []int32
 	documents int
+	// epoch is the reuse generation; a slot whose epoch differs was last
+	// touched by a previous tenant of this arena.
+	epoch int64
+	// names is the symbol-name snapshot sealed when the unit was shipped:
+	// names[w] resolves the worker-local ID w. Captured by the worker so
+	// the committer never reads the worker's live, still-growing table.
+	names []string
+	// bytes estimates the staged footprint, driving sub-shard flushing.
+	bytes int
 }
 
-// slot returns the shard stage for element w, creating it (and recording
-// the first touch) on demand.
+// slot returns the shard stage for element w, creating or lazily
+// resetting it (and recording the first touch) on demand.
 func (sh *fastShard) slot(w int32) *shardElem {
 	for len(sh.perElem) <= int(w) {
 		sh.perElem = append(sh.perElem, nil)
 	}
 	se := sh.perElem[w]
 	if se == nil {
-		se = &shardElem{}
+		se = &shardElem{epoch: -1}
 		sh.perElem[w] = se
+	}
+	if se.epoch != sh.epoch {
+		se.epoch = sh.epoch
+		se.resetContent()
 		sh.touched = append(sh.touched, w)
 	}
 	return se
 }
 
+// sealNames snapshots the staging worker's symbol strings into the unit,
+// so the committer resolves worker-local IDs from an immutable slice
+// while the worker keeps interning into its live table. The strings
+// themselves are immutable and shared; only the slice header array is
+// copied.
+func (sh *fastShard) sealNames(names *intern.Table) { sh.names = names.Names() }
+
+// reset prepares a committed unit for reuse, keeping allocated storage.
+// Per-slot state resets lazily: bumping the epoch invalidates every
+// shardElem at once and slot() re-initializes on first touch.
+func (sh *fastShard) reset() {
+	sh.epoch++
+	sh.touched = sh.touched[:0]
+	sh.documents = 0
+	sh.names = nil
+	sh.bytes = 0
+}
+
 // textLen returns how many text samples the shard has staged for w.
 func (sh *fastShard) textLen(w int32) int {
-	if int(w) < len(sh.perElem) && sh.perElem[w] != nil {
-		return len(sh.perElem[w].texts)
+	if int(w) < len(sh.perElem) {
+		if se := sh.perElem[w]; se != nil && se.epoch == sh.epoch {
+			return len(se.texts)
+		}
 	}
 	return 0
 }
@@ -625,6 +690,8 @@ func (f *fastIngester) endShard() { f.shard = nil }
 // observations into the worker's shard stage. Everything is already in
 // the worker's symbol space, so this is pure ID and counter work — no
 // strings, no target maps — and a rejected document never reaches it.
+// The staged-byte estimate it maintains is what the pipelined driver's
+// afterDoc hook consults to decide when to flush a sub-shard unit.
 func (f *fastIngester) commitToShard(sh *fastShard) {
 	for _, w := range f.touched {
 		st := f.elems[w]
@@ -635,6 +702,7 @@ func (f *fastIngester) commitToShard(sh *fastShard) {
 				se.ms.AddIDs(st.arena[start:end], 1)
 				start = end
 			}
+			sh.bytes += 4*len(st.arena) + 16*len(st.ends)
 		}
 		if st.hasText {
 			se.hasText = true
@@ -648,10 +716,16 @@ func (f *fastIngester) commitToShard(sh *fastShard) {
 				break
 			}
 			se.texts = append(se.texts, t)
+			sh.bytes += len(t) + 16
 		}
 		for _, a := range st.attsTouched {
-			se.foldAttr(a)
+			se.foldAttr(a, sh.epoch)
+			sh.bytes += 32
+			for _, vc := range a.vals {
+				sh.bytes += len(vc.v) + 24
+			}
 		}
+		sh.bytes += 48
 	}
 	for _, w := range f.rootBuf {
 		sh.slot(w).roots++
@@ -661,15 +735,24 @@ func (f *fastIngester) commitToShard(sh *fastShard) {
 
 // foldAttr accumulates one document's staged attribute statistic into the
 // shard stage, preserving first-seen value order so the corpus commit is
-// deterministic even when the distinct-value cap truncates.
-func (se *shardElem) foldAttr(a *attStage) {
+// deterministic even when the distinct-value cap truncates. epoch is the
+// owning fastShard's reuse generation: a stage last touched by a previous
+// tenant of a recycled arena is reset on first sight.
+func (se *shardElem) foldAttr(a *attStage, epoch int64) {
 	if se.atts == nil {
 		se.atts = map[string]*attStage{}
 	}
 	d := se.atts[a.name]
 	if d == nil {
-		d = &attStage{name: a.name, idx: map[string]int{}}
+		d = &attStage{name: a.name, epoch: epoch - 1, idx: map[string]int{}}
 		se.atts[a.name] = d
+	}
+	if d.epoch != epoch {
+		d.epoch = epoch
+		d.present = 0
+		d.overflow = false
+		clear(d.idx)
+		d.vals = d.vals[:0]
 		se.attList = append(se.attList, d)
 	}
 	d.present += a.present
@@ -690,57 +773,7 @@ func (se *shardElem) foldAttr(a *attStage) {
 	}
 }
 
-// commitShard folds a completed shard stage into the corpus extraction.
-// It must be called single-threaded, in shard order, by the ingester that
-// staged the shard (the IDs are in its symbol space). Per-element child
-// sequences merge as counted multisets through the worker's cached
-// remaps — cost proportional to the shard's unique sequences, with each
-// distinct (worker, element, symbol) resolving its string exactly once
-// per corpus — and the scalar observations fold under the same caps and
-// flags as sequential ingestion. Walking touched in shard first-touch
-// order makes every corpus-level first sight happen in sequential
-// document order, which is what keeps the merged extraction byte-
-// identical to sequential ingestion.
-func (f *fastIngester) commitShard(sh *fastShard, target *Extraction) {
-	if target != f.target {
-		f.target = target
-		f.targetEpoch++
-	}
-	for _, w := range sh.touched {
-		se := sh.perElem[w]
-		name := f.names.Name(int(w))
-		if se.ms.Unique() > 0 {
-			tgt := f.targetFor(w, target)
-			before := tgt.set.ShapeFingerprint()
-			tgt.set.MergeMultiset(&se.ms, f.names, &tgt.remap)
-			if tgt.set.ShapeFingerprint() != before {
-				target.markDirty(name)
-			}
-		}
-		if se.hasText && !target.HasText[name] {
-			target.HasText[name] = true
-			target.markDirty(name)
-		}
-		if len(se.texts) > 0 {
-			have := target.TextSamples[name]
-			for _, t := range se.texts {
-				if len(have) >= maxTextSamples {
-					target.TextOverflow[name] = true
-					break
-				}
-				have = append(have, t)
-			}
-			target.TextSamples[name] = have
-		}
-		if se.textOverflow {
-			target.TextOverflow[name] = true
-		}
-		for _, a := range se.attList {
-			f.commitAttr(target, name, a)
-		}
-		if se.roots > 0 {
-			target.Roots[name] += se.roots
-		}
-	}
-	target.Documents += sh.documents
-}
+// The fold of a sealed fastShard into the corpus extraction lives with
+// the pipeline committer (commitFastShard in pipeline.go): commit state
+// is owned by the committer goroutine, keyed by the sealed name
+// snapshot, so workers and committer never share mutable state.

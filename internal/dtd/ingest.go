@@ -185,6 +185,11 @@ type IngestReport struct {
 	TextOverflows int
 	// Errors lists one entry per rejected document.
 	Errors []*DocumentError
+	// Pipeline carries the streaming-ingestion stage timings when the
+	// batch ran on the pipelined parallel path (nil otherwise). The
+	// durations are wall-clock measurements — everything else in the
+	// report stays deterministic for a given batch.
+	Pipeline *PipelineStats
 }
 
 // add accumulates another report's counters and errors into r, used when
@@ -216,6 +221,16 @@ func (r *IngestReport) String() string {
 		r.Accepted, r.Documents, r.Rejected, r.Bytes, r.Tokens, r.Elements)
 	if r.TextOverflows > 0 {
 		fmt.Fprintf(&b, ", %d elements with truncated text samples", r.TextOverflows)
+	}
+	if p := r.Pipeline; p != nil {
+		fmt.Fprintf(&b, "\n  pipeline: %d workers x %d shards in %d flush units (%d arenas reused), wall %v",
+			p.Workers, p.Shards, p.FlushUnits, p.ArenaReuses, p.Wall.Round(time.Microsecond))
+		fmt.Fprintf(&b, "\n  workers: decode %v, flush-wait %v; committer: commit %v, idle %v",
+			p.Decode.Round(time.Microsecond), p.FlushWait.Round(time.Microsecond),
+			p.Commit.Round(time.Microsecond), p.CommitterIdle.Round(time.Microsecond))
+		if p.FinalMerge > 0 {
+			fmt.Fprintf(&b, ", final merge %v", p.FinalMerge.Round(time.Microsecond))
+		}
 	}
 	for _, e := range r.Errors {
 		fmt.Fprintf(&b, "\n  %v", e)

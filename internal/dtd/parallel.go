@@ -6,8 +6,6 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // Parallel sharded ingestion. The corpus is split into contiguous shards;
@@ -16,13 +14,16 @@ import (
 // path, under the same IngestOptions caps. On the fast decoder a shard is
 // staged entirely in the worker's private symbol space (fastShard):
 // counted ID multisets per element, zero synchronization, no string
-// interning beyond the worker's own table. Once all workers finish, the
-// coordinator commits shards in shard order — the single place worker
-// IDs are translated into the corpus extraction, through per-worker
-// cached remaps (intern.Remap), so each distinct symbol's string is
-// touched once per worker and everything else is slice indexing. The std
-// decoder keeps its per-shard staging Extraction, committed with the
-// ID-level Merge.
+// interning beyond the worker's own table. Completed (or flush-budget
+// sealed partial) stages stream to a committer that folds them into the
+// corpus in shard order *while later shards are still decoding* — see
+// pipeline.go for the streaming engine, its back-pressure bound and the
+// per-stage instrumentation it reports. The commit is the single place
+// worker IDs are translated into the corpus extraction, through
+// per-worker cached remaps (intern.Remap), so each distinct symbol's
+// string is touched once per worker and everything else is slice
+// indexing. The std decoder keeps its per-shard staging Extraction,
+// committed with the ID-level Merge.
 //
 // Because every observation the extraction accumulates is a commutative
 // set/counter union (2T-INF edge sets, occurrence counters, root tallies)
@@ -167,8 +168,12 @@ func (x *Extraction) AddDocumentsParallelContext(ctx context.Context, docs []io.
 // the context before claiming each shard and inside every document's
 // decode loop, so a cancelled call returns promptly with ctx.Err() and no
 // lingering goroutines (the call still joins its workers before
-// returning). Cancellation is batch-atomic: no shard is merged, so x is
-// left exactly as it was.
+// returning). Cancellation is batch-atomic: with a cancellable context
+// the pipelined committer folds into a staging extraction that x adopts
+// only on success, so a cancelled call — even one cancelled with shards
+// already in the commit channel — leaves x exactly as it was. The
+// returned report carries PipelineStats (per-stage wall and idle
+// timings) when the pipelined path ran.
 func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, workers int, opts *IngestOptions, policy ErrorPolicy) (*IngestReport, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -184,103 +189,5 @@ func (x *Extraction) AddDocsParallelContext(ctx context.Context, docs []Doc, wor
 		workers = shardCount
 	}
 	bounds := shardBounds(docs, shardCount)
-	type shardResult struct {
-		// claimed marks shards a worker actually ran; unclaimed shards
-		// were skipped because an earlier shard failed under FailFast (or
-		// the batch was cancelled first).
-		claimed bool
-		// Exactly one of x (std decoder: per-shard staging extraction) and
-		// shard (fast decoder: ID-space shard stage, committed by fi) is
-		// set on a claimed shard.
-		x      *Extraction
-		shard  *fastShard
-		fi     *fastIngester
-		report IngestReport
-		err    *DocumentError
-	}
-	shards := make([]shardResult, shardCount)
-	var next int64
-	failedShard := int64(shardCount) // lowest shard index that hit FailFast
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One ingester per worker: its decoder, staging buffers and
-			// worker-local symbol table are reused across every shard the
-			// worker claims, so per-shard cost is a fresh shard stage, not
-			// a fresh decode pipeline — and on the fast path the worker's
-			// symbol table and commit remaps span all of its shards.
-			ing := newIngester(opts)
-			fi, fast := ing.(*fastIngester)
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				si := int(atomic.AddInt64(&next, 1) - 1)
-				if si >= shardCount {
-					return
-				}
-				if policy == FailFast && int64(si) > atomic.LoadInt64(&failedShard) {
-					// A strictly earlier shard already failed; this shard's
-					// results would be discarded by the in-order commit.
-					continue
-				}
-				s := &shards[si]
-				s.claimed = true
-				if fast {
-					s.shard = &fastShard{}
-					s.fi = fi
-					fi.beginShard(s.shard)
-					s.err, _ = runIngest(ing, ctx, nil, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
-					fi.endShard()
-				} else {
-					s.x = NewExtraction()
-					s.err, _ = runIngest(ing, ctx, s.x, docs[bounds[si]:bounds[si+1]], bounds[si], opts, policy, &s.report)
-				}
-				if s.err != nil && policy == FailFast {
-					for {
-						cur := atomic.LoadInt64(&failedShard)
-						if int64(si) >= cur || atomic.CompareAndSwapInt64(&failedShard, cur, int64(si)) {
-							break
-						}
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		// Batch-atomic cancellation: discard every shard stage unmerged.
-		// The report still tallies the work done before the cut, which the
-		// CLI surfaces as "cancelled after N documents".
-		report := &IngestReport{}
-		for si := range shards {
-			if shards[si].claimed {
-				report.add(&shards[si].report)
-			}
-		}
-		return report, err
-	}
-	report := &IngestReport{}
-	for si := range shards {
-		s := &shards[si]
-		if !s.claimed {
-			continue // skipped: an earlier shard failed first under FailFast
-		}
-		report.add(&s.report)
-		if s.shard != nil {
-			// Single-threaded, in shard order, on the staging worker's
-			// ingester: the only place worker-local IDs meet the corpus.
-			s.fi.commitShard(s.shard, x)
-		} else {
-			x.Merge(s.x)
-		}
-		if s.err != nil && policy == FailFast {
-			report.TextOverflows = len(x.TextOverflow)
-			return report, s.err
-		}
-	}
-	report.TextOverflows = len(x.TextOverflow)
-	return report, nil
+	return x.runPipeline(ctx, docs, bounds, workers, opts, policy)
 }

@@ -83,6 +83,19 @@ func Pending(point, key string) bool {
 	return ok
 }
 
+// ArmedAt reports whether any registration (any key) exists at point.
+// Hook sites whose failure handling needs arming before the work starts
+// — the pipelined ingestion committer stages into a scratch extraction
+// only when a commit fault could fire — consult it once up front.
+func ArmedAt(point string) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return len(faults[point]) > 0
+}
+
 // Reset clears every registration, restoring the production no-op state.
 func Reset() {
 	mu.Lock()

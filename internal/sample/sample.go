@@ -301,12 +301,26 @@ func decodeKey(key []byte) []int32 {
 // s in first-occurrence order, so a sharded, committed-in-order ingestion
 // builds a Set byte-identical to sequential ingestion.
 func (s *Set) MergeMultiset(o *Multiset, names *intern.Table, remap *intern.Remap) {
+	s.mergeMultiset(o, func(old int32) string { return names.Name(int(old)) }, remap)
+}
+
+// MergeMultisetNames is MergeMultiset against a dense-ID name snapshot
+// (names[id] is the foreign symbol interned at id) instead of a live
+// intern.Table. It is the counted-union entry point for pipelined
+// commits, where the staging worker's table keeps growing concurrently
+// and the committer must resolve symbols from an immutable snapshot
+// captured when the stage was sealed.
+func (s *Set) MergeMultisetNames(o *Multiset, names []string, remap *intern.Remap) {
+	s.mergeMultiset(o, func(old int32) string { return names[old] }, remap)
+}
+
+func (s *Set) mergeMultiset(o *Multiset, name func(int32) string, remap *intern.Remap) {
 	for i, seq := range o.seqs {
 		h := uint64(seqSeed)
 		for _, old := range seq {
 			id := remap.Get(old)
 			if id < 0 {
-				id = s.internID(names.Name(int(old)))
+				id = s.internID(name(old))
 				remap.Set(old, id)
 			}
 			s.keyBuf = appendID(s.keyBuf, id)
@@ -334,6 +348,25 @@ func (s *Set) Clone() *Set {
 	c := New()
 	c.Merge(s)
 	return c
+}
+
+// Reset empties the multiset while keeping its allocated storage (the
+// index map, the slice headers, the key buffer), so a staging arena can
+// be recycled through a free list without re-growing on every reuse. The
+// stored sequence slices are dropped, not reused — they may be aliased by
+// whoever consumed the multiset.
+func (m *Multiset) Reset() {
+	for i := range m.seqs {
+		m.seqs[i] = nil
+	}
+	m.seqs = m.seqs[:0]
+	m.counts = m.counts[:0]
+	m.hashes = m.hashes[:0]
+	clear(m.index)
+	m.total = 0
+	m.shapeFp = 0
+	m.countFp = 0
+	m.keyBuf = m.keyBuf[:0]
 }
 
 // Total returns the size of the expanded multiset (sequences counted with

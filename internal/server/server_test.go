@@ -295,6 +295,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"dtdserved_validations_total 1",
 		`dtdserved_tenant_version{tenant="m"} 1`,
 		"dtdserved_draining 0",
+		// Pipeline stage counters are always exposed, even when every
+		// batch so far ran the sequential path (single-document batches).
+		"dtdserved_pipeline_batches_total",
+		"dtdserved_pipeline_flush_units_total",
+		"dtdserved_pipeline_commit_ns_total",
+		"dtdserved_pipeline_committer_idle_ns_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)

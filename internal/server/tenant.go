@@ -187,6 +187,15 @@ func (t *tenant) ingestBatch(batch []*job) {
 		m.ingestRejected.Add(int64(report.Rejected))
 		m.ingestBytes.Add(report.Bytes)
 		m.ingestElements.Add(report.Elements)
+		if p := report.Pipeline; p != nil {
+			m.pipelineBatches.Add(1)
+			m.pipelineFlushUnits.Add(int64(p.FlushUnits))
+			m.pipelineArenaReuses.Add(int64(p.ArenaReuses))
+			m.pipelineDecodeNs.Add(p.Decode.Nanoseconds())
+			m.pipelineFlushWaitNs.Add(p.FlushWait.Nanoseconds())
+			m.pipelineCommitNs.Add(p.Commit.Nanoseconds())
+			m.pipelineCommitterIdleNs.Add(p.CommitterIdle.Nanoseconds())
+		}
 	}
 	if err != nil {
 		// Batch-level failure (cancellation): nothing committed.

@@ -14,8 +14,9 @@ import (
 // equivalence property: for shuffled corpora and any worker count, the
 // inferred DTD must be byte-identical to sequential inference on the same
 // document order. 2T-INF and the CRX summaries are commutative unions and
-// the shard commit replays document order, so parallelism must not be
-// observable in the output.
+// the pipelined committer replays document order (shard k folds into the
+// corpus while k+1..N still decode), so neither parallelism nor the
+// decode/commit overlap must be observable in the output.
 func TestParallelIngestionDTDByteIdentical(t *testing.T) {
 	base := corpus.Protein(3, 90)
 	base = append(base, corpus.Mondial(4, 40)...)
@@ -25,9 +26,9 @@ func TestParallelIngestionDTDByteIdentical(t *testing.T) {
 			rand.New(rand.NewSource(shuffle)).Shuffle(len(docs), func(i, j int) {
 				docs[i], docs[j] = docs[j], docs[i]
 			})
-			want := inferString(t, docs, algo, 1)
-			for _, workers := range []int{2, 8} {
-				if got := inferString(t, docs, algo, workers); got != want {
+			want := inferString(t, docs, algo, 1, dtd.DecoderFast)
+			for _, workers := range []int{2, 3, 5, 8} {
+				if got := inferString(t, docs, algo, workers, dtd.DecoderFast); got != want {
 					t.Errorf("algo=%s shuffle=%d workers=%d: DTD differs from sequential\ngot:\n%s\nwant:\n%s",
 						algo, shuffle, workers, got, want)
 				}
@@ -36,14 +37,31 @@ func TestParallelIngestionDTDByteIdentical(t *testing.T) {
 	}
 }
 
-func inferString(t *testing.T, docs []string, algo Algorithm, workers int) string {
+// TestParallelIngestionPipelinedBothDecoders sweeps the pipelined path
+// across worker counts 1..8 under both decoders: the std decoder commits
+// staged extractions through Merge, the fast decoder through the remapped
+// ID fold, and both must reproduce the sequential DTD byte-for-byte.
+func TestParallelIngestionPipelinedBothDecoders(t *testing.T) {
+	docs := append(corpus.Protein(7, 60), corpus.Mondial(8, 25)...)
+	for _, decoder := range []dtd.DecoderKind{dtd.DecoderFast, dtd.DecoderStd} {
+		want := inferString(t, docs, IDTD, 1, decoder)
+		for workers := 2; workers <= 8; workers++ {
+			if got := inferString(t, docs, IDTD, workers, decoder); got != want {
+				t.Errorf("decoder=%s workers=%d: DTD differs from sequential\ngot:\n%s\nwant:\n%s",
+					decoder, workers, got, want)
+			}
+		}
+	}
+}
+
+func inferString(t *testing.T, docs []string, algo Algorithm, workers int, decoder dtd.DecoderKind) string {
 	t.Helper()
 	readers := make([]io.Reader, len(docs))
 	for i, d := range docs {
 		readers[i] = strings.NewReader(d)
 	}
 	d, _, _, err := InferDTDWithReport(readers, algo,
-		&Options{Parallelism: workers}, nil, dtd.SkipAndRecord)
+		&Options{Parallelism: workers}, &dtd.IngestOptions{Decoder: decoder}, dtd.SkipAndRecord)
 	if err != nil {
 		t.Fatalf("algo=%s workers=%d: %v", algo, workers, err)
 	}
